@@ -1,0 +1,8 @@
+"""Benchmark suite reproducing every table and figure of the paper's
+evaluation (Section VII). Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for reference
+results.
+"""

@@ -1,0 +1,25 @@
+"""Exp-1(1): percentage of effectively bounded queries.
+
+Paper: 61 %, 67 %, 58 % of subgraph queries and 32 %, 41 %, 33 % of
+simulation queries are effectively bounded on IMDbG, DBpediaG and WebBG.
+"""
+
+from benchmarks.conftest import DATASETS, emit
+from repro.bench import exp1_percentages, render_table
+
+
+def test_exp1_percentages(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        exp1_percentages,
+        kwargs=dict(datasets=DATASETS, scale=bench_scale, count=100),
+        rounds=1, iterations=1)
+    emit(render_table(rows, title="Exp-1(1): % effectively bounded queries "
+                                  "(paper: 61/67/58 subgraph, 32/41/33 simulation)"))
+    by_name = {row["dataset"]: row for row in rows}
+    for name in DATASETS:
+        row = by_name[name]
+        # Shape assertions: a substantial fraction is bounded, and
+        # subgraph queries dominate simulation queries.
+        assert row["subgraph_pct"] >= 30
+        assert row["simulation_pct"] >= 5
+        assert row["subgraph_pct"] > row["simulation_pct"]

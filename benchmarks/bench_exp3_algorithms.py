@@ -1,0 +1,52 @@
+"""Expt-3: latency of the decision/planning algorithms themselves.
+
+Paper: EBChk <= 7 ms, QPlan <= 37 ms, sEBChk <= 6 ms, sQPlan <= 32 ms for
+all queries and constraints tested. The same order of magnitude should
+hold here (pure Python, so a generous ceiling is asserted).
+"""
+
+from benchmarks.conftest import DATASETS, emit
+from repro.bench import exp3_algorithm_times, render_table
+
+
+def test_exp3_algorithm_times(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        exp3_algorithm_times,
+        kwargs=dict(datasets=DATASETS, scale=bench_scale, count=50),
+        rounds=1, iterations=1)
+    emit(render_table(rows, title="Expt-3: max algorithm latency in ms "
+                                  "(paper: EBChk 7, QPlan 37, sEBChk 6, "
+                                  "sQPlan 32)"))
+    for row in rows:
+        for key in ("ebchk_max_ms", "qplan_max_ms", "sebchk_max_ms",
+                    "sqplan_max_ms"):
+            if row[key] is not None:
+                assert row[key] < 1000, f"{key} should be milliseconds-scale"
+
+
+def test_ebchk_micro(benchmark, bench_scale):
+    """Microbenchmark: one EBChk decision on the paper's Q0 under A0."""
+    from repro import AccessSchema, ebchk
+    from repro.bench import get_dataset
+    from repro.pattern import parse_pattern
+    from tests.conftest import Q0_TEXT
+
+    _, schema = get_dataset("imdb", bench_scale)
+    a0 = AccessSchema(list(schema)[:8])
+    q0 = parse_pattern(Q0_TEXT, name="Q0")
+    result = benchmark(ebchk, q0, a0)
+    assert result.bounded
+
+
+def test_qplan_micro(benchmark, bench_scale):
+    """Microbenchmark: one QPlan generation for Q0 under A0."""
+    from repro import AccessSchema, qplan
+    from repro.bench import get_dataset
+    from repro.pattern import parse_pattern
+    from tests.conftest import Q0_TEXT
+
+    _, schema = get_dataset("imdb", bench_scale)
+    a0 = AccessSchema(list(schema)[:8])
+    q0 = parse_pattern(Q0_TEXT, name="Q0")
+    plan = benchmark(qplan, q0, a0)
+    assert plan.worst_case_nodes_fetched == 17923

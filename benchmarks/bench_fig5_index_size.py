@@ -1,0 +1,29 @@
+"""Fig. 5(d,h,l): data accessed and index size relative to |G|, vs #n.
+
+Paper: query plans access no more than 0.13 % of |G| for all queries on
+all datasets, with the indices used below 8 % of |G|. At bench scale the
+ratios are larger (|G| is ~1000x smaller while plan access volumes are
+scale-free) — the assertion is that accessed data is a small fraction of
+the graph and essentially flat in #n.
+"""
+
+import pytest
+
+from benchmarks.conftest import DATASETS, emit
+from repro.bench import fig5_index_size, render_table
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_index_size(benchmark, dataset, bench_scale):
+    rows = benchmark.pedantic(
+        fig5_index_size,
+        kwargs=dict(dataset=dataset, node_counts=(3, 4, 5, 6, 7),
+                    scale=bench_scale, queries_per_point=3),
+        rounds=1, iterations=1)
+    emit(render_table(rows, title=f"Fig. 5 (accessed & index / |G|) on "
+                                  f"{dataset}"))
+
+    for row in rows:
+        for key in ("bvf2_accessed", "bsim_accessed"):
+            if row[key] is not None:
+                assert row[key] < 1.0, "accessed more than the whole graph"

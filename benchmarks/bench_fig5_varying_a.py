@@ -1,0 +1,32 @@
+"""Fig. 5(c,g,k): bVF2/bSim evaluation time vs ‖A‖ (12..20).
+
+Paper shape: more access constraints give QPlan/sQPlan better plans, so
+evaluation gets faster (e.g. 75.1 s -> 5.6 s for bVF2 on WebBG as ‖A‖
+grows from 12 to 20). The synthetic schemas order general constraints
+first, so the same trend appears: with few constraints the plans lean on
+coarse anchors, with more they pick tighter ones.
+"""
+
+import pytest
+
+from benchmarks.conftest import DATASETS, emit
+from repro.bench import fig5_varying_a, render_table
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_varying_a(benchmark, dataset, bench_scale):
+    rows = benchmark.pedantic(
+        fig5_varying_a,
+        kwargs=dict(dataset=dataset, constraint_counts=(12, 14, 16, 18, 20),
+                    scale=bench_scale, queries_per_point=3),
+        rounds=1, iterations=1)
+    emit(render_table(rows, title=f"Fig. 5 (varying ‖A‖) on {dataset}: "
+                                  f"seconds per query"))
+
+    # Shape: evaluation under the largest schema is not slower than under
+    # the smallest (more constraints can only improve plans), with a 2x
+    # noise envelope.
+    first = next((r for r in rows if r["bvf2"] is not None), None)
+    last = next((r for r in reversed(rows) if r["bvf2"] is not None), None)
+    if first and last and first is not last:
+        assert last["bvf2"] <= 2 * first["bvf2"] + 0.05

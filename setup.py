@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+All metadata lives in pyproject.toml; this file exists so environments
+without the ``wheel`` package (no PEP 660 backend) can still run
+``pip install -e .`` through setuptools' develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — bounded evaluation of graph pattern queries via access constraints.
+
+A faithful, from-scratch reproduction of:
+
+    Yang Cao, Wenfei Fan, Jinpeng Huai, Ruizhe Huang.
+    "Making Pattern Queries Bounded in Big Graphs". ICDE 2015.
+
+The workflow the paper proposes, in this library's vocabulary:
+
+>>> from repro import (Graph, Pattern, AccessSchema, SchemaIndex,
+...                    ebchk, qplan, bvf2)
+>>> from repro.graph.generators import imdb_like
+>>> from repro.pattern import parse_pattern
+>>> graph, schema = imdb_like(scale=0.02)
+>>> q = parse_pattern("m: movie; y: year; m -> y")
+>>> ebchk(q, schema).bounded                    # (1) is Q bounded under A?
+True
+>>> plan = qplan(q, schema)                     # (2) worst-case optimal plan
+>>> run = bvf2(q, SchemaIndex(graph, schema), plan=plan)   # (3) evaluate
+>>> len(run.answer) > 0
+True
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the reproduction
+of every table and figure in the paper's evaluation.
+"""
+
+from repro.accounting import AccessStats
+from repro.constraints import (
+    AccessConstraint,
+    AccessSchema,
+    ConstraintIndex,
+    MaintainedSchemaIndex,
+    SchemaIndex,
+    discover_schema,
+)
+from repro.core import (
+    BoundednessResult,
+    EEPResult,
+    ExecutionResult,
+    QueryPlan,
+    ebchk,
+    eechk,
+    execute_plan,
+    find_min_m,
+    generate_plan,
+    is_effectively_bounded,
+    is_instance_bounded,
+    qplan,
+    sebchk,
+    seechk,
+    sqplan,
+)
+from repro.errors import (
+    ConstraintViolation,
+    MatchTimeout,
+    NotEffectivelyBounded,
+    ReproError,
+)
+from repro.graph import FrozenGraph, Graph, GraphDelta
+from repro.matching import (
+    bsim,
+    bvf2,
+    count_matches,
+    find_matches,
+    opt_gsim,
+    opt_vf2,
+    simulate,
+)
+from repro.pattern import Pattern, PatternGenerator, Predicate, parse_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "AccessStats",
+    "BoundednessResult",
+    "ConstraintIndex",
+    "ConstraintViolation",
+    "EEPResult",
+    "ExecutionResult",
+    "FrozenGraph",
+    "Graph",
+    "GraphDelta",
+    "MaintainedSchemaIndex",
+    "MatchTimeout",
+    "NotEffectivelyBounded",
+    "Pattern",
+    "PatternGenerator",
+    "Predicate",
+    "QueryPlan",
+    "ReproError",
+    "SchemaIndex",
+    "bsim",
+    "bvf2",
+    "count_matches",
+    "discover_schema",
+    "ebchk",
+    "eechk",
+    "execute_plan",
+    "find_matches",
+    "find_min_m",
+    "generate_plan",
+    "is_effectively_bounded",
+    "is_instance_bounded",
+    "opt_gsim",
+    "opt_vf2",
+    "parse_pattern",
+    "qplan",
+    "sebchk",
+    "seechk",
+    "simulate",
+    "sqplan",
+    "__version__",
+]

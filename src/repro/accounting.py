@@ -1,0 +1,84 @@
+"""Data-access accounting.
+
+Effective boundedness is a claim about *how much data is touched*, so the
+library threads an :class:`AccessStats` recorder through every index fetch
+and adjacency probe. Benchmarks use it to report ``|accessed| / |G|``
+(Fig. 5(d,h,l) of the paper) and tests use it to verify the worst-case
+bounds computed by query plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessStats:
+    """Counters for one query evaluation.
+
+    Attributes
+    ----------
+    nodes_fetched:
+        Node entries returned by index fetches (with multiplicity — the
+        same node fetched twice counts twice, matching the paper's
+        "visits at most ... nodes" accounting).
+    edges_checked:
+        Edge existence checks performed (index probes or adjacency probes).
+    index_fetches:
+        Number of index fetch operations issued.
+    distinct_nodes:
+        Distinct data nodes seen across all fetches.
+    """
+
+    nodes_fetched: int = 0
+    edges_checked: int = 0
+    index_fetches: int = 0
+    _seen: set = field(default_factory=set, repr=False)
+
+    @property
+    def distinct_nodes(self) -> int:
+        return len(self._seen)
+
+    @property
+    def total_accessed(self) -> int:
+        """Nodes + edges touched — comparable to ``|G| = |V| + |E|``."""
+        return self.nodes_fetched + self.edges_checked
+
+    def record_fetch(self, nodes) -> None:
+        """Record one index fetch returning ``nodes``."""
+        self.index_fetches += 1
+        count = 0
+        for node in nodes:
+            count += 1
+            self._seen.add(node)
+        self.nodes_fetched += count
+
+    def record_edge_checks(self, count: int) -> None:
+        self.edges_checked += count
+
+    def record_edge_fetch(self, nodes) -> None:
+        """Record an index fetch issued to *verify edges*: the fetched
+        entries count as edge examinations (the paper's Example 1 counts
+        them this way), not as node fetches."""
+        self.index_fetches += 1
+        count = 0
+        for node in nodes:
+            count += 1
+            self._seen.add(node)
+        self.edges_checked += count
+
+    def merge(self, other: "AccessStats") -> None:
+        """Fold another recorder's counts into this one."""
+        self.nodes_fetched += other.nodes_fetched
+        self.edges_checked += other.edges_checked
+        self.index_fetches += other.index_fetches
+        self._seen |= other._seen
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes_fetched": self.nodes_fetched,
+            "edges_checked": self.edges_checked,
+            "index_fetches": self.index_fetches,
+            "distinct_nodes": self.distinct_nodes,
+            "total_accessed": self.total_accessed,
+        }

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro check    --pattern q.pat --schema a.json [--semantics simulation]
+    repro plan     --pattern q.pat --schema a.json [--semantics simulation]
+    repro run      --graph g.tsv --pattern q.pat --schema a.json
+    repro generate --dataset imdb --scale 0.05 --out prefix
+    repro bench    --experiment exp1 [--dataset imdb] [--scale 0.05]
+
+Patterns use the text DSL of :mod:`repro.pattern.dsl`; schemas are the
+JSON documents of :meth:`repro.constraints.schema.AccessSchema.save`;
+graphs are the TSV/JSON formats of :mod:`repro.graph.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.constraints.index import SchemaIndex
+from repro.constraints.schema import AccessSchema
+from repro.core.actualized import SEMANTICS, SIMULATION, SUBGRAPH
+from repro.core.ebchk import is_effectively_bounded
+from repro.core.qplan import generate_plan
+from repro.errors import NotEffectivelyBounded, ReproError
+from repro.graph import io as graph_io
+from repro.matching.bounded import bsim, bvf2
+from repro.matching.simulation import relation_pairs
+from repro.pattern.dsl import parse_pattern
+
+
+def _load_pattern(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_pattern(text, name=Path(path).stem)
+
+
+def _load_graph(path: str):
+    if path.endswith(".json"):
+        return graph_io.read_json(path)
+    return graph_io.read_tsv(path)
+
+
+def _cmd_check(args) -> int:
+    pattern = _load_pattern(args.pattern)
+    schema = AccessSchema.load(args.schema)
+    result = is_effectively_bounded(pattern, schema, args.semantics)
+    print(result.explain())
+    return 0 if result.bounded else 1
+
+
+def _cmd_plan(args) -> int:
+    pattern = _load_pattern(args.pattern)
+    schema = AccessSchema.load(args.schema)
+    try:
+        plan = generate_plan(pattern, schema, args.semantics)
+    except NotEffectivelyBounded as exc:
+        print(f"not effectively bounded: {exc}", file=sys.stderr)
+        return 1
+    print(plan.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    pattern = _load_pattern(args.pattern)
+    schema = AccessSchema.load(args.schema)
+    graph = _load_graph(args.graph)
+    index = SchemaIndex(graph, schema)
+    if args.validate:
+        index.validate()
+    runner = bvf2 if args.semantics == SUBGRAPH else bsim
+    try:
+        run = runner(pattern, index)
+    except NotEffectivelyBounded as exc:
+        print(f"not effectively bounded: {exc}", file=sys.stderr)
+        return 1
+    if args.semantics == SUBGRAPH:
+        print(f"matches: {len(run.answer)}")
+        for match in run.answer[: args.limit]:
+            print("  " + ", ".join(f"u{u}->{v}"
+                                   for u, v in sorted(match.items())))
+    else:
+        pairs = relation_pairs(run.answer)
+        print(f"match relation pairs: {len(pairs)}")
+        for u, v in sorted(pairs)[: args.limit]:
+            print(f"  u{u} -> {v}")
+    stats = run.stats.as_dict()
+    print(f"accessed: {stats['total_accessed']} items of |G| = {graph.size} "
+          f"({stats['index_fetches']} index fetches)")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.bench.datasets import GENERATORS
+    try:
+        generator = GENERATORS[args.dataset]
+    except KeyError:
+        print(f"unknown dataset {args.dataset!r}; expected one of "
+              f"{sorted(GENERATORS)}", file=sys.stderr)
+        return 2
+    graph, schema = generator(scale=args.scale, seed=args.seed)
+    graph_path = f"{args.out}.graph.tsv"
+    schema_path = f"{args.out}.schema.json"
+    graph_io.write_tsv(graph, graph_path)
+    schema.save(schema_path)
+    print(f"wrote {graph_path} ({graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges)")
+    print(f"wrote {schema_path} ({len(schema)} constraints)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.graph.stats import profile
+    print(profile(_load_graph(args.graph)))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        exp1_percentages,
+        exp3_algorithm_times,
+        fig5_index_size,
+        fig5_varying_a,
+        fig5_varying_g,
+        fig5_varying_q,
+        fig6_instance_bounded,
+        render_table,
+    )
+    per_dataset = {
+        "fig5-varying-g": fig5_varying_g,
+        "fig5-varying-q": fig5_varying_q,
+        "fig5-varying-a": fig5_varying_a,
+        "fig5-index-size": fig5_index_size,
+        "fig6-instance": fig6_instance_bounded,
+    }
+    if args.experiment == "exp1":
+        rows = exp1_percentages(scale=args.scale)
+    elif args.experiment == "exp3":
+        rows = exp3_algorithm_times(scale=args.scale)
+    elif args.experiment in per_dataset:
+        rows = per_dataset[args.experiment](args.dataset, scale=args.scale)
+    else:
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+    print(render_table(rows, title=f"{args.experiment} "
+                                   f"(dataset={args.dataset}, "
+                                   f"scale={args.scale})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bounded evaluation of graph pattern queries "
+                    "(Cao, Fan, Huai, Huang; ICDE 2015)")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_semantics(p):
+        p.add_argument("--semantics", choices=SEMANTICS, default=SUBGRAPH)
+
+    p_check = sub.add_parser("check", help="decide effective boundedness")
+    p_check.add_argument("--pattern", required=True)
+    p_check.add_argument("--schema", required=True)
+    add_semantics(p_check)
+    p_check.set_defaults(func=_cmd_check)
+
+    p_plan = sub.add_parser("plan", help="generate a query plan")
+    p_plan.add_argument("--pattern", required=True)
+    p_plan.add_argument("--schema", required=True)
+    add_semantics(p_plan)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_run = sub.add_parser("run", help="evaluate a query with bounded access")
+    p_run.add_argument("--graph", required=True)
+    p_run.add_argument("--pattern", required=True)
+    p_run.add_argument("--schema", required=True)
+    p_run.add_argument("--limit", type=int, default=10,
+                       help="max matches to print")
+    p_run.add_argument("--validate", action="store_true",
+                       help="verify G |= A before running")
+    add_semantics(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic dataset")
+    p_gen.add_argument("--dataset", required=True)
+    p_gen.add_argument("--scale", type=float, default=0.05)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output path prefix")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_profile = sub.add_parser(
+        "profile", help="profile a graph (constraint-discovery statistics)")
+    p_profile.add_argument("--graph", required=True)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("--experiment", required=True,
+                         help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
+                              " | fig5-varying-a | fig5-index-size"
+                              " | fig6-instance")
+    p_bench.add_argument("--dataset", default="imdb")
+    p_bench.add_argument("--scale", type=float, default=0.05)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Access schema on graphs (Section II of the paper).
+
+An *access constraint* ``S -> (l, N)`` combines a cardinality guarantee
+(any S-labeled node set has at most N common neighbours labeled ``l``)
+with an index that retrieves those neighbours in O(N). An *access schema*
+``A`` is a set of such constraints.
+
+* :class:`AccessConstraint` / :class:`AccessSchema` — the declarative side.
+* :class:`ConstraintIndex` / :class:`SchemaIndex` — the physical indexes
+  over a concrete graph, with O(N) ``fetch``.
+* :mod:`~repro.constraints.discovery` — mining constraints from data
+  (degree bounds, global label counts, FD-style bounds, aggregates).
+* :mod:`~repro.constraints.maintenance` — incremental index maintenance
+  under graph deltas.
+"""
+
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.constraints.index import ConstraintIndex, SchemaIndex
+from repro.constraints.discovery import (
+    discover_type1,
+    discover_unit,
+    discover_general,
+    discover_functional,
+    discover_schema,
+)
+from repro.constraints.maintenance import MaintainedSchemaIndex, MaintenanceReport
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "ConstraintIndex",
+    "SchemaIndex",
+    "discover_type1",
+    "discover_unit",
+    "discover_general",
+    "discover_functional",
+    "discover_schema",
+    "MaintainedSchemaIndex",
+    "MaintenanceReport",
+]

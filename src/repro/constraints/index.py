@@ -1,0 +1,276 @@
+"""Physical indexes for access constraints.
+
+For a constraint ``S -> (l, N)`` over a graph ``G``, the index maps every
+S-labeled node set that occurs in ``G`` (canonically ordered by label) to
+the tuple of its common neighbours labeled ``l``. Retrieval is a single
+hash lookup — the O(N) access the paper's access-schema definition
+requires. The paper realized these as MySQL tables + B-tree indices; an
+in-memory hash map provides the same contract.
+
+Construction enumerates, for each target node ``w`` labeled ``l``, the
+S-labeled subsets of ``w``'s neighbourhood (a per-label product), which is
+the same work the paper's "create a table in which each tuple encodes an
+actualized constraint" performs.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.accounting import AccessStats
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.errors import ConstraintViolation, SchemaError
+from repro.graph.graph import GraphView
+
+
+class ConstraintIndex:
+    """Index for one access constraint over one graph.
+
+    Parameters
+    ----------
+    track_members:
+        When True, reverse maps (node -> keys it appears in) are kept so
+        the index supports incremental maintenance; costs extra memory.
+    """
+
+    __slots__ = ("constraint", "_entries", "_max_entry", "_track",
+                 "_target_cells", "_member_keys")
+
+    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None,
+                 track_members: bool = False):
+        self.constraint = constraint
+        self._entries: dict[tuple[int, ...], set[int]] = {}
+        self._max_entry = 0
+        self._track = track_members
+        # target node -> set of keys whose payload contains it
+        self._target_cells: dict[int, set[tuple[int, ...]]] = {}
+        # key-member node -> set of keys containing it
+        self._member_keys: dict[int, set[tuple[int, ...]]] = {}
+        if graph is not None:
+            self.build(graph)
+
+    # -- construction -------------------------------------------------------------
+    def build(self, graph: GraphView) -> "ConstraintIndex":
+        """(Re)build the index from scratch over ``graph``."""
+        self._entries = {}
+        self._max_entry = 0
+        self._target_cells = {}
+        self._member_keys = {}
+        for w in graph.nodes_with_label(self.constraint.target):
+            self.add_target(w, graph)
+        if self.constraint.is_type1:
+            # A type (1) index has the single key () even in an empty graph.
+            self._entries.setdefault((), set())
+        return self
+
+    def add_target(self, w: int, graph: GraphView) -> None:
+        """Insert the cells contributed by target node ``w``."""
+        for key in self._keys_for_target(w, graph):
+            payload = self._entries.setdefault(key, set())
+            payload.add(w)
+            if len(payload) > self._max_entry:
+                self._max_entry = len(payload)
+            if self._track:
+                self._target_cells.setdefault(w, set()).add(key)
+                for member in key:
+                    self._member_keys.setdefault(member, set()).add(key)
+
+    def remove_target(self, w: int) -> None:
+        """Remove every cell contributed by target node ``w`` (requires
+        ``track_members=True``)."""
+        if not self._track:
+            raise SchemaError("index was built without member tracking")
+        for key in self._target_cells.pop(w, ()):
+            payload = self._entries.get(key)
+            if payload is None:
+                continue
+            payload.discard(w)
+            if not payload and key != ():
+                del self._entries[key]
+                for member in key:
+                    keys = self._member_keys.get(member)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._member_keys[member]
+
+    def drop_keys_with(self, node: int) -> None:
+        """Remove every key containing ``node`` (after node deletion)."""
+        if not self._track:
+            raise SchemaError("index was built without member tracking")
+        for key in list(self._member_keys.get(node, ())):
+            payload = self._entries.pop(key, set())
+            for w in payload:
+                cells = self._target_cells.get(w)
+                if cells is not None:
+                    cells.discard(key)
+            for member in key:
+                if member == node:
+                    continue
+                keys = self._member_keys.get(member)
+                if keys is not None:
+                    keys.discard(key)
+        self._member_keys.pop(node, None)
+
+    def _keys_for_target(self, w: int, graph: GraphView):
+        """Enumerate the canonical keys of S-labeled neighbour sets of ``w``."""
+        source = self.constraint.source
+        if not source:
+            yield ()
+            return
+        neighbours = graph.neighbors(w)
+        per_label: list[list[int]] = []
+        for label in source:  # already sorted canonically
+            bucket = [v for v in neighbours if graph.label_of(v) == label]
+            if not bucket:
+                return
+            per_label.append(sorted(bucket))
+        yield from product(*per_label)
+
+    # -- retrieval -------------------------------------------------------------------
+    def canonical_key(self, nodes: Iterable[int], graph: GraphView) -> tuple[int, ...]:
+        """Order ``nodes`` by their labels to match the index key layout.
+
+        Raises :class:`SchemaError` if the nodes do not form an S-labeled
+        set for this constraint.
+        """
+        by_label = {}
+        for node in nodes:
+            label = graph.label_of(node)
+            if label in by_label:
+                raise SchemaError(
+                    f"two nodes with label {label!r} in S-labeled set for {self.constraint}")
+            by_label[label] = node
+        if set(by_label) != set(self.constraint.source):
+            raise SchemaError(
+                f"nodes {sorted(by_label.values())} (labels {sorted(by_label)}) do not "
+                f"form an S-labeled set for {self.constraint}")
+        return tuple(by_label[label] for label in self.constraint.source)
+
+    def fetch(self, key: Sequence[int], stats: AccessStats | None = None) -> tuple[int, ...]:
+        """O(N) retrieval: common neighbours (labeled ``l``) of the
+        S-labeled set given by the canonical ``key``.
+
+        For type (1) constraints pass an empty key.
+        """
+        payload = self._entries.get(tuple(key), ())
+        result = tuple(payload)
+        if stats is not None:
+            stats.record_fetch(result)
+        return result
+
+    def fetch_nodes(self, nodes: Iterable[int], graph: GraphView,
+                    stats: AccessStats | None = None) -> tuple[int, ...]:
+        """Like :meth:`fetch`, but accepts the node set in any order."""
+        return self.fetch(self.canonical_key(nodes, graph), stats=stats)
+
+    # -- inspection -------------------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entry(self) -> int:
+        """Largest payload observed — the *actual* cardinality bound."""
+        return max((len(p) for p in self._entries.values()), default=0)
+
+    @property
+    def size(self) -> int:
+        """Total cells stored (key members + payload members), comparable
+        to the paper's index-size measure in Fig. 5(d,h,l)."""
+        return sum(len(key) + len(payload) for key, payload in self._entries.items())
+
+    def is_satisfied(self) -> bool:
+        """Does the graph satisfy the cardinality side of the constraint?"""
+        return self.max_entry <= self.constraint.bound
+
+    def violations(self) -> list[tuple[tuple[int, ...], int]]:
+        """Keys whose payload exceeds the bound, with their counts."""
+        bound = self.constraint.bound
+        return [(key, len(payload)) for key, payload in self._entries.items()
+                if len(payload) > bound]
+
+    def keys(self):
+        return self._entries.keys()
+
+    def __repr__(self) -> str:
+        return (f"ConstraintIndex({self.constraint}, keys={self.num_keys}, "
+                f"max_entry={self.max_entry})")
+
+
+class SchemaIndex:
+    """All indexes of an access schema over one graph.
+
+    This is the object query plans execute against: it owns one
+    :class:`ConstraintIndex` per constraint plus the graph reference.
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> g = Graph()
+    >>> m = g.add_node("movie"); y = g.add_node("year", value=2012)
+    >>> g.add_edge(m, y)
+    True
+    >>> schema = AccessSchema([AccessConstraint(("movie",), "year", 1)])
+    >>> sx = SchemaIndex(g, schema)
+    >>> sx.fetch(next(iter(schema)), (m,))
+    (1,)
+    """
+
+    def __init__(self, graph: GraphView, schema: AccessSchema,
+                 track_members: bool = False, validate: bool = False):
+        self.graph = graph
+        self.schema = schema
+        self._indexes: dict[AccessConstraint, ConstraintIndex] = {}
+        for constraint in schema:
+            self._indexes[constraint] = ConstraintIndex(
+                constraint, graph, track_members=track_members)
+        if validate:
+            self.validate()
+
+    def index_for(self, constraint: AccessConstraint) -> ConstraintIndex:
+        try:
+            return self._indexes[constraint]
+        except KeyError:
+            raise SchemaError(f"no index built for {constraint}") from None
+
+    def add_constraint(self, constraint: AccessConstraint,
+                       track_members: bool = False) -> ConstraintIndex:
+        """Extend the schema with a constraint and build its index (used by
+        M-bounded extensions in Section V)."""
+        if constraint in self._indexes:
+            return self._indexes[constraint]
+        self.schema.add(constraint)
+        index = ConstraintIndex(constraint, self.graph, track_members=track_members)
+        self._indexes[constraint] = index
+        return index
+
+    def fetch(self, constraint: AccessConstraint, key: Sequence[int],
+              stats: AccessStats | None = None) -> tuple[int, ...]:
+        """O(N) fetch through the index of ``constraint``."""
+        return self.index_for(constraint).fetch(key, stats=stats)
+
+    def validate(self) -> None:
+        """Raise :class:`ConstraintViolation` if the graph violates any
+        constraint's cardinality bound."""
+        for constraint, index in self._indexes.items():
+            for key, count in index.violations():
+                raise ConstraintViolation(constraint, key, count)
+
+    def satisfied(self) -> bool:
+        """True iff ``G |= A`` (cardinality side)."""
+        return all(index.is_satisfied() for index in self._indexes.values())
+
+    @property
+    def total_size(self) -> int:
+        """Total index cells across all constraints (Fig. 5(d,h,l))."""
+        return sum(index.size for index in self._indexes.values())
+
+    def size_for(self, constraints: Iterable[AccessConstraint]) -> int:
+        """Index size restricted to the given constraints (the paper's
+        ``|index_Q|`` — only the indices a plan actually uses)."""
+        return sum(self.index_for(c).size for c in set(constraints))
+
+    def __repr__(self) -> str:
+        return f"SchemaIndex(constraints={len(self._indexes)}, size={self.total_size})"

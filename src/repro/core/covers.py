@@ -1,0 +1,191 @@
+"""Node and edge covers — the characterization of effective boundedness.
+
+Section III-A defines, for a subgraph query ``Q`` and access schema ``A``:
+
+* ``VCov(Q, A)`` — nodes deducible as having boundedly many candidates:
+  type (1) constraints seed it, and ``S -> (l, N)`` extends it to common
+  neighbours (labeled ``l``) of covered S-labeled sets;
+* ``ECov(Q, A)`` — edges ``(u1, u2)`` verifiable through some constraint:
+  one endpoint sits inside a covered S-labeled set and the other is the
+  constraint's target label.
+
+Theorem 1: ``Q`` is effectively bounded iff ``VCov = V_Q`` and
+``ECov = E_Q``. Section VI-A strengthens the node cover for simulation
+queries (``sVCov``) by deducing only through *children*, which is realized
+here simply by actualizing Γ under the simulation semantics.
+
+The fixpoint runs the worklist of algorithm EBChk (Fig. 3) with the
+uncovered-label sets ``ct[φ]``; when every actualized constraint touches
+each label at most once, the cheaper counter variant ``n[φ]`` of
+Theorem 2(2) is used automatically (force either via ``use_counters``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.schema import AccessSchema
+from repro.core.actualized import (
+    SUBGRAPH,
+    ActualizedConstraint,
+    actualize,
+    check_semantics,
+    inverted_index,
+)
+from repro.pattern.pattern import Pattern
+
+
+@dataclass
+class CoverResult:
+    """Output of the cover fixpoint.
+
+    ``covered_by`` records, for every covered node, the actualized
+    constraint that first deduced it (None when seeded by a type (1)
+    constraint) — QPlan and the executor both reuse this provenance.
+    """
+
+    pattern: Pattern
+    semantics: str
+    node_cover: set[int]
+    edge_cover: set[tuple[int, int]]
+    gamma: list[ActualizedConstraint]
+    covered_by: dict[int, ActualizedConstraint | None] = field(default_factory=dict)
+    usable: set[ActualizedConstraint] = field(default_factory=set)
+
+    @property
+    def uncovered_nodes(self) -> list[int]:
+        return sorted(set(self.pattern.nodes()) - self.node_cover)
+
+    @property
+    def uncovered_edges(self) -> list[tuple[int, int]]:
+        return sorted(set(self.pattern.edges()) - self.edge_cover)
+
+    @property
+    def nodes_complete(self) -> bool:
+        """``VCov(Q, A) = V_Q``."""
+        return not self.uncovered_nodes
+
+    @property
+    def edges_complete(self) -> bool:
+        """``ECov(Q, A) = E_Q``."""
+        return not self.uncovered_edges
+
+    @property
+    def complete(self) -> bool:
+        """Theorem 1 / Theorem 7 condition."""
+        return self.nodes_complete and self.edges_complete
+
+
+def counters_are_safe(gamma: list[ActualizedConstraint], pattern: Pattern) -> bool:
+    """True when the counter optimization of Theorem 2(2) is sound: every
+    actualized constraint's neighbour set has pairwise-distinct labels, so
+    each counter decrement retires a distinct label.
+
+    This holds in both of the paper's special cases (distinct parent
+    labels; only type (1)/(2) constraints) and is checked directly here.
+    """
+    for phi in gamma:
+        labels = [pattern.label_of(v) for v in phi.neighbours]
+        if len(labels) != len(set(labels)):
+            return False
+    return True
+
+
+def compute_covers(pattern: Pattern, schema: AccessSchema,
+                   semantics: str = SUBGRAPH,
+                   use_counters: bool | None = None) -> CoverResult:
+    """Compute ``VCov/ECov`` (or ``sVCov/sECov``) via the EBChk worklist.
+
+    Parameters
+    ----------
+    use_counters:
+        None (default) auto-selects the counter variant when it is sound;
+        True forces it (caller asserts soundness); False forces the
+        general ``ct[φ]`` label-set variant.
+    """
+    check_semantics(semantics)
+    gamma = actualize(pattern, schema, semantics)
+    if use_counters is None:
+        use_counters = counters_are_safe(gamma, pattern)
+
+    # Seed: nodes whose label has a type (1) constraint (line 3 of Fig. 3).
+    covered: set[int] = set()
+    covered_by: dict[int, ActualizedConstraint | None] = {}
+    worklist: list[int] = []
+    for node in pattern.nodes():
+        if schema.type1_for(pattern.label_of(node)) is not None:
+            covered.add(node)
+            covered_by[node] = None
+            worklist.append(node)
+
+    by_member = inverted_index(gamma)
+    if use_counters:
+        remaining: dict[ActualizedConstraint, int] = {
+            phi: len(phi.constraint.source) for phi in gamma}
+
+        def consume(phi: ActualizedConstraint, node: int) -> bool:
+            remaining[phi] -= 1
+            return remaining[phi] == 0
+    else:
+        pending: dict[ActualizedConstraint, set[str]] = {
+            phi: set(phi.constraint.source) for phi in gamma}
+
+        def consume(phi: ActualizedConstraint, node: int) -> bool:
+            pending[phi].discard(pattern.label_of(node))
+            return not pending[phi]
+
+    satisfied: set[ActualizedConstraint] = set()
+    while worklist:
+        node = worklist.pop()
+        for phi in by_member.get(node, ()):
+            if phi in satisfied:
+                continue
+            if consume(phi, node):
+                satisfied.add(phi)
+                target = phi.target
+                if target not in covered:
+                    covered.add(target)
+                    covered_by[target] = phi
+                    worklist.append(target)
+
+    # Edge cover: (u1, u2) is covered iff some satisfied φ targets one
+    # endpoint while the other endpoint is a covered member of V̄_S^u
+    # (then an S-labeled set containing it and only covered nodes exists).
+    edge_cover: set[tuple[int, int]] = set()
+    for edge in pattern.edges():
+        if _edge_covered(edge, gamma, satisfied, covered):
+            edge_cover.add(edge)
+
+    return CoverResult(pattern=pattern, semantics=semantics,
+                       node_cover=covered, edge_cover=edge_cover,
+                       gamma=gamma, covered_by=covered_by, usable=satisfied)
+
+
+def _edge_covered(edge: tuple[int, int], gamma: list[ActualizedConstraint],
+                  satisfied: set[ActualizedConstraint],
+                  covered: set[int]) -> bool:
+    u1, u2 = edge
+    for phi in gamma:
+        if phi not in satisfied:
+            continue
+        if phi.target == u2 and u1 in phi.neighbours and u1 in covered:
+            return True
+        if phi.target == u1 and u2 in phi.neighbours and u2 in covered:
+            return True
+    return False
+
+
+def edge_cover_witnesses(edge: tuple[int, int],
+                         covers: CoverResult) -> list[ActualizedConstraint]:
+    """All satisfied actualized constraints that cover ``edge`` — QPlan
+    picks the cheapest among these for edge verification."""
+    u1, u2 = edge
+    witnesses = []
+    for phi in covers.gamma:
+        if phi not in covers.usable:
+            continue
+        if phi.target == u2 and u1 in phi.neighbours and u1 in covers.node_cover:
+            witnesses.append(phi)
+        elif phi.target == u1 and u2 in phi.neighbours and u2 in covers.node_cover:
+            witnesses.append(phi)
+    return witnesses

@@ -1,0 +1,268 @@
+"""Instance boundedness and M-bounded extensions (Section V).
+
+When a workload ``Q`` is not effectively bounded under ``A``, the paper
+extends ``A`` with additional type (1) and type (2) constraints whose
+bounds are at most ``M`` — an *M-bounded extension* ``A_M`` — so that
+every query becomes bounded *on the given instance* ``G``.
+
+* :func:`maximum_extension` — Step (1) of algorithm EEChk: the maximal
+  M-bounded extension (all type (1)/(2) constraints over the workload's
+  labels that ``G`` satisfies with bound ≤ M).
+* :func:`is_instance_bounded` / :func:`eechk` / :func:`seechk` —
+  algorithm EEChk (Theorems 6 and 10): build the maximal extension, then
+  run EBChk/sEBChk per query.
+* :func:`find_min_m` / :func:`min_m_for_fraction` — the Fig. 6 curves:
+  the smallest ``M`` making a target fraction of the workload
+  instance-bounded (binary search over candidate bounds; instance
+  boundedness is monotone in ``M``).
+* :func:`greedy_minimum_extension` — finding a *minimum* extension is
+  logAPX-hard (Section V, Remark), so this provides the natural greedy
+  set-cover-style approximation.
+
+Proposition 5 (an ``M`` always exists for finite workloads) surfaces as
+:func:`make_instance_bounded`, which returns that ``M`` and its extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.constraints.discovery import neighbor_label_bounds
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.core.actualized import SIMULATION, SUBGRAPH, check_semantics
+from repro.core.ebchk import is_effectively_bounded
+from repro.errors import SchemaError
+from repro.graph.graph import GraphView
+from repro.pattern.pattern import Pattern
+
+
+@dataclass
+class EEPResult:
+    """Verdict of EEChk/sEEChk for a workload.
+
+    ``extension`` is the full schema ``A_M`` (original plus added
+    constraints); ``added`` lists only the new constraints.
+    """
+
+    bounded: bool
+    m: int
+    semantics: str
+    extension: AccessSchema
+    added: list[AccessConstraint] = field(default_factory=list)
+    per_query: dict[str, bool] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.bounded
+
+    @property
+    def bounded_fraction(self) -> float:
+        if not self.per_query:
+            return 1.0
+        return sum(self.per_query.values()) / len(self.per_query)
+
+
+def workload_labels(queries: Iterable[Pattern]) -> set[str]:
+    labels: set[str] = set()
+    for query in queries:
+        labels |= query.labels()
+    return labels
+
+
+def maximum_extension(graph: GraphView, schema: AccessSchema,
+                      queries: Sequence[Pattern], m: int,
+                      bounds: dict[tuple[str, str], int] | None = None,
+                      ) -> tuple[AccessSchema, list[AccessConstraint]]:
+    """Step (1) of EEChk: the maximal M-bounded extension ``A_M``.
+
+    Adds every type (1) constraint ``∅ -> (l, count)`` and type (2)
+    constraint ``l -> (l', N)`` over labels occurring in both the workload
+    and ``G``, whose observed bound is at most ``m``.
+
+    Pass ``bounds=neighbor_label_bounds(graph)`` to amortize the O(|G|)
+    scan across calls (e.g. the binary search in :func:`find_min_m`).
+    """
+    if m < 0:
+        raise SchemaError(f"M must be a natural number, got {m}")
+    labels = workload_labels(queries) & graph.labels()
+    extension = AccessSchema(schema)
+    added: list[AccessConstraint] = []
+
+    for label in sorted(labels):
+        count = graph.label_count(label)
+        if count <= m:
+            constraint = AccessConstraint((), label, count)
+            if extension.add(constraint):
+                added.append(constraint)
+
+    if bounds is None:
+        bounds = neighbor_label_bounds(graph)
+    for (la, lb), bound in sorted(bounds.items()):
+        if la in labels and lb in labels and bound <= m:
+            constraint = AccessConstraint((la,), lb, bound)
+            if extension.add(constraint):
+                added.append(constraint)
+    return extension, added
+
+
+def is_instance_bounded(queries: Sequence[Pattern], schema: AccessSchema,
+                        graph: GraphView, m: int,
+                        semantics: str = SUBGRAPH,
+                        bounds: dict[tuple[str, str], int] | None = None,
+                        ) -> EEPResult:
+    """Algorithm EEChk / sEEChk: decide ``EEP(Q, A, M, G)``.
+
+    Correctness per the paper: if any extension works, the *maximal*
+    M-bounded extension works, so only that one needs checking.
+    """
+    check_semantics(semantics)
+    extension, added = maximum_extension(graph, schema, queries, m, bounds=bounds)
+    per_query: dict[str, bool] = {}
+    all_bounded = True
+    for i, query in enumerate(queries):
+        verdict = bool(is_effectively_bounded(query, extension, semantics))
+        per_query[query.name or f"q{i}"] = verdict
+        all_bounded = all_bounded and verdict
+    return EEPResult(bounded=all_bounded, m=m, semantics=semantics,
+                     extension=extension, added=added, per_query=per_query)
+
+
+def eechk(queries: Sequence[Pattern], schema: AccessSchema, graph: GraphView,
+          m: int, **kwargs) -> EEPResult:
+    """The paper's **EEChk** (subgraph queries)."""
+    return is_instance_bounded(queries, schema, graph, m, SUBGRAPH, **kwargs)
+
+
+def seechk(queries: Sequence[Pattern], schema: AccessSchema, graph: GraphView,
+           m: int, **kwargs) -> EEPResult:
+    """The paper's **sEEChk** (simulation queries)."""
+    return is_instance_bounded(queries, schema, graph, m, SIMULATION, **kwargs)
+
+
+# -- minimum M (Fig. 6) ------------------------------------------------------------
+def candidate_bounds(graph: GraphView, queries: Sequence[Pattern],
+                     bounds: dict[tuple[str, str], int] | None = None) -> list[int]:
+    """The bounds at which the maximal extension can change: label counts
+    and neighbour-degree bounds over the workload's labels."""
+    labels = workload_labels(queries) & graph.labels()
+    if bounds is None:
+        bounds = neighbor_label_bounds(graph)
+    values = {graph.label_count(label) for label in labels}
+    values |= {bound for (la, lb), bound in bounds.items()
+               if la in labels and lb in labels}
+    return sorted(values)
+
+
+def min_m_for_fraction(queries: Sequence[Pattern], schema: AccessSchema,
+                       graph: GraphView, fraction: float = 1.0,
+                       semantics: str = SUBGRAPH) -> tuple[int | None, EEPResult | None]:
+    """Smallest ``M`` making at least ``fraction`` of the workload
+    instance-bounded (the x% sweep of Fig. 6), or ``(None, None)`` if even
+    the largest candidate bound is insufficient.
+
+    Monotonicity (larger M ⇒ superset of constraints ⇒ larger covers)
+    justifies the binary search.
+    """
+    check_semantics(semantics)
+    bounds = neighbor_label_bounds(graph)
+    candidates = candidate_bounds(graph, queries, bounds=bounds)
+    if not candidates:
+        return None, None
+
+    def fraction_at(m: int) -> EEPResult:
+        return is_instance_bounded(queries, schema, graph, m, semantics,
+                                   bounds=bounds)
+
+    top = fraction_at(candidates[-1])
+    if top.bounded_fraction < fraction:
+        return None, None
+    lo, hi = 0, len(candidates) - 1
+    best = top
+    while lo < hi:
+        mid = (lo + hi) // 2
+        result = fraction_at(candidates[mid])
+        if result.bounded_fraction >= fraction:
+            best = result
+            hi = mid
+        else:
+            lo = mid + 1
+    if best.m != candidates[lo]:
+        best = fraction_at(candidates[lo])
+    return candidates[lo], best
+
+
+def find_min_m(queries: Sequence[Pattern], schema: AccessSchema,
+               graph: GraphView, semantics: str = SUBGRAPH,
+               ) -> tuple[int | None, EEPResult | None]:
+    """Smallest ``M`` making the *whole* workload instance-bounded."""
+    return min_m_for_fraction(queries, schema, graph, 1.0, semantics)
+
+
+def make_instance_bounded(queries: Sequence[Pattern], schema: AccessSchema,
+                          graph: GraphView, semantics: str = SUBGRAPH,
+                          ) -> EEPResult | None:
+    """Proposition 5: find *some* M-bounded extension making the workload
+    instance-bounded, or None when even unbounded M fails (possible when a
+    query uses labels absent from ``G`` — then type (1) constraints with
+    bound 0 do apply, so failures are rare and signal label typos)."""
+    m, result = find_min_m(queries, schema, graph, semantics)
+    if m is None:
+        return None
+    return result
+
+
+# -- greedy minimum extension (logAPX-hard exactly) -----------------------------------
+def greedy_minimum_extension(queries: Sequence[Pattern], schema: AccessSchema,
+                             graph: GraphView, m: int,
+                             semantics: str = SUBGRAPH,
+                             ) -> list[AccessConstraint] | None:
+    """Greedy approximation of the minimum M-bounded extension.
+
+    Finding the minimum extension is logAPX-hard (Section V), which is the
+    complexity signature of set cover; the greedy algorithm repeatedly adds
+    the candidate constraint that newly covers the most pattern nodes and
+    edges across still-unbounded queries. Returns the added constraints,
+    or None when the maximal extension itself is insufficient.
+    """
+    check_semantics(semantics)
+    full = is_instance_bounded(queries, schema, graph, m, semantics)
+    if not full.bounded:
+        return None
+    candidates = list(full.added)
+    current = AccessSchema(schema)
+    chosen: list[AccessConstraint] = []
+
+    def coverage(schema_now: AccessSchema) -> int:
+        covered = 0
+        for query in queries:
+            result = is_effectively_bounded(query, schema_now, semantics)
+            covered += len(result.covers.node_cover)
+            covered += len(result.covers.edge_cover)
+        return covered
+
+    def all_bounded(schema_now: AccessSchema) -> bool:
+        return all(is_effectively_bounded(q, schema_now, semantics).bounded
+                   for q in queries)
+
+    while not all_bounded(current):
+        base = coverage(current)
+        best_gain, best_constraint = 0, None
+        for constraint in candidates:
+            if constraint in current:
+                continue
+            trial = AccessSchema(current)
+            trial.add(constraint)
+            gain = coverage(trial) - base
+            if gain > best_gain:
+                best_gain, best_constraint = gain, constraint
+        if best_constraint is None:
+            # No single constraint helps; add the remaining ones at once
+            # (covers need joint additions in rare cases).
+            for constraint in candidates:
+                if constraint not in current:
+                    current.add(constraint)
+                    chosen.append(constraint)
+            break
+        current.add(best_constraint)
+        chosen.append(best_constraint)
+    return chosen

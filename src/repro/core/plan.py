@@ -1,0 +1,198 @@
+"""Query-plan objects: fetch operations, edge checks, and cost bounds.
+
+A query plan ``P`` (Section IV) is a sequence of node-fetching operations
+``ft(u, V_S, φ, g_Q(u))``. Executing ``ft`` retrieves candidate matches
+``cmat(u)`` through the index of ``φ``; later operations for the same node
+*reduce* its candidate set. From the fetched candidates a subgraph ``G_Q``
+is assembled by verifying every query edge through a covering constraint.
+
+This module holds the declarative plan (:class:`QueryPlan`) and its
+worst-case cost arithmetic; generation lives in :mod:`repro.core.qplan`
+and execution in :mod:`repro.core.executor`.
+
+The cost model reproduces the paper's Example 1/6 numbers exactly: for Q0
+under A0 the plan reports 17 923 nodes and 35 136 edges accessed in the
+worst case, and a ``G_Q`` of at most 17 791 nodes.
+
+A caveat the paper shares: size bounds refined by predicate *range hints*
+(e.g. "3 years in 2011-2013") assume one data node per distinct value.
+That holds for the label domains the hints target (years), but is an
+estimate in general — plans generated with ``use_range_hints=False`` give
+unconditionally sound bounds. Execution correctness never depends on
+either (candidate sets are always fetched in full).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import Predicate
+
+#: Edge-verification strategies, in order of faithfulness to the paper.
+EDGE_VIA_INDEX = "index"    # product fetch through a covering constraint
+EDGE_VIA_PROBE = "probe"    # pairwise adjacency probes (fallback)
+
+
+@dataclass(frozen=True)
+class FetchOp:
+    """One fetching operation ``ft(u, V_S, φ, g_Q(u))``.
+
+    Attributes
+    ----------
+    target:
+        The pattern node ``u`` whose candidates are fetched.
+    source_nodes:
+        The pattern nodes forming the S-labeled set ``V_S`` (empty for
+        type (1) constraints), ordered to match the constraint's canonical
+        label order.
+    constraint:
+        The access constraint ``φ`` whose index serves the fetch.
+    predicate:
+        ``g_Q(u)`` — applied to fetched candidates.
+    fetch_bound:
+        Worst-case number of node entries this operation fetches:
+        ``N`` for type (1), otherwise ``N · Π size[v]`` over ``V_S`` at
+        planning time.
+    size_bound:
+        Worst-case ``|cmat(u)|`` after this operation (range hints and
+        reductions applied).
+    """
+
+    target: int
+    source_nodes: tuple[int, ...]
+    constraint: AccessConstraint
+    predicate: Predicate
+    fetch_bound: float
+    size_bound: float
+
+    @property
+    def is_initial(self) -> bool:
+        """True for type (1) fetches (no source nodes)."""
+        return not self.source_nodes
+
+    def describe(self, pattern: Pattern) -> str:
+        label = pattern.label_of(self.target)
+        sources = ",".join(f"u{v}" for v in self.source_nodes) or "nil"
+        return (f"ft(u{self.target}:{label}, {{{sources}}}, {self.constraint}, "
+                f"{self.predicate})")
+
+
+@dataclass(frozen=True)
+class EdgeCheck:
+    """Verification step for one query edge.
+
+    ``mode`` is :data:`EDGE_VIA_INDEX` (fetch common neighbours of the
+    candidates of ``source_nodes`` through ``constraint`` and intersect
+    with the candidates of ``fetch_target``) or :data:`EDGE_VIA_PROBE`
+    (pairwise adjacency probes between the endpoint candidate sets).
+
+    ``cost_bound`` is the worst-case number of edge examinations.
+    """
+
+    edge: tuple[int, int]
+    mode: str
+    fetch_target: int | None = None
+    source_nodes: tuple[int, ...] = ()
+    constraint: AccessConstraint | None = None
+    cost_bound: float = math.inf
+
+    def describe(self) -> str:
+        u1, u2 = self.edge
+        if self.mode == EDGE_VIA_PROBE:
+            return f"probe(u{u1} -> u{u2})"
+        sources = ",".join(f"u{v}" for v in self.source_nodes)
+        return (f"check(u{u1} -> u{u2} via {self.constraint} on "
+                f"u{self.fetch_target} from {{{sources}}})")
+
+
+@dataclass
+class QueryPlan:
+    """An effectively bounded query plan for a pattern under a schema.
+
+    The plan is *worst-case optimal* when produced by QPlan/sQPlan
+    (Theorems 4 and 9): among all effectively bounded plans, the largest
+    ``G_Q`` it fetches over all ``G |= A`` is minimum.
+    """
+
+    pattern: Pattern
+    schema: AccessSchema
+    semantics: str
+    ops: list[FetchOp] = field(default_factory=list)
+    edge_checks: list[EdgeCheck] = field(default_factory=list)
+
+    # -- structure ---------------------------------------------------------------
+    def final_op_for(self, node: int) -> FetchOp:
+        """The last (most-reducing) fetch operation for a pattern node."""
+        result = None
+        for op in self.ops:
+            if op.target == node:
+                result = op
+        if result is None:
+            raise KeyError(f"no fetch operation for pattern node {node}")
+        return result
+
+    def ops_for(self, node: int) -> list[FetchOp]:
+        return [op for op in self.ops if op.target == node]
+
+    def constraints_used(self) -> set[AccessConstraint]:
+        """Constraints whose indices the plan touches (for the paper's
+        ``|index_Q|`` accounting)."""
+        used = {op.constraint for op in self.ops}
+        used |= {check.constraint for check in self.edge_checks
+                 if check.constraint is not None}
+        return used
+
+    # -- worst-case bounds (Example 1/6 arithmetic) ---------------------------------
+    def size_bound(self, node: int) -> float:
+        """Worst-case ``|cmat(node)|`` after the full plan."""
+        return self.final_op_for(node).size_bound
+
+    @property
+    def worst_case_nodes_fetched(self) -> float:
+        """Worst-case node entries fetched by all operations — Example 1's
+        "visits at most 17923 nodes" number for Q0/A0."""
+        return sum(op.fetch_bound for op in self.ops)
+
+    @property
+    def worst_case_edges_checked(self) -> float:
+        """Worst-case edge examinations — Example 1's 35 136 for Q0/A0."""
+        return sum(check.cost_bound for check in self.edge_checks)
+
+    @property
+    def worst_case_gq_nodes(self) -> float:
+        """Worst-case ``|V(G_Q)|`` — Example 6's 17 791 for Q0/A0."""
+        return sum(self.size_bound(node) for node in self.pattern.nodes())
+
+    @property
+    def worst_case_total_accessed(self) -> float:
+        """Nodes fetched + edges checked; comparable to ``|G|``."""
+        return self.worst_case_nodes_fetched + self.worst_case_edges_checked
+
+    # -- presentation ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the plan."""
+        lines = [f"QueryPlan[{self.semantics}] for "
+                 f"{self.pattern.name or 'pattern'}:"]
+        for i, op in enumerate(self.ops, start=1):
+            lines.append(f"  {i}. {op.describe(self.pattern)}"
+                         f"  [fetch<= {_fmt(op.fetch_bound)},"
+                         f" |cmat|<= {_fmt(op.size_bound)}]")
+        for check in self.edge_checks:
+            lines.append(f"  -  {check.describe()}  [checks<= {_fmt(check.cost_bound)}]")
+        lines.append(f"  worst case: {_fmt(self.worst_case_nodes_fetched)} nodes"
+                     f" fetched, {_fmt(self.worst_case_edges_checked)} edges"
+                     f" checked, |GQ| <= {_fmt(self.worst_case_gq_nodes)} nodes")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"QueryPlan(semantics={self.semantics!r}, ops={len(self.ops)}, "
+                f"edge_checks={len(self.edge_checks)})")
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "inf"
+    return str(int(value)) if float(value).is_integer() else f"{value:.1f}"

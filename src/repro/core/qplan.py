@@ -1,0 +1,221 @@
+"""QPlan and sQPlan — generating worst-case-optimal query plans.
+
+Algorithm QPlan (Fig. 4): build the actualized graph ``Q_Γ``, seed
+``cmat`` bounds from type (1) constraints, then repeatedly pick a node
+``u`` and an actualized constraint whose fetch would *reduce* the
+worst-case ``|cmat(u)|`` (``check``/``ocheck``), appending a fetch
+operation each time, until no further reduction exists. The resulting
+plan is effectively bounded and worst-case optimal (Theorem 4); the
+simulation variant sQPlan differs only in using the children-restricted
+actualized constraints (Theorem 9).
+
+Two practical refinements, both noted in DESIGN.md:
+
+* **Range hints** — a predicate that pins an integer value into a closed
+  range caps ``size[u]`` at the range width (this is how the paper's
+  Example 1 counts three years in 2011–2013). Disable with
+  ``use_range_hints=False``.
+* **Edge checks** — after node fetches are fixed, each query edge is
+  assigned its cheapest covering constraint for verification (the paper's
+  "Building G_Q" step); the cost arithmetic matches Example 6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constraints.schema import AccessSchema
+from repro.core.actualized import (
+    SIMULATION,
+    SUBGRAPH,
+    ActualizedConstraint,
+    actualized_by_target,
+)
+from repro.core.covers import compute_covers
+from repro.core.plan import (
+    EDGE_VIA_INDEX,
+    EDGE_VIA_PROBE,
+    EdgeCheck,
+    FetchOp,
+    QueryPlan,
+)
+from repro.errors import NotEffectivelyBounded
+from repro.pattern.pattern import Pattern
+
+
+def generate_plan(pattern: Pattern, schema: AccessSchema,
+                  semantics: str = SUBGRAPH,
+                  use_range_hints: bool = True,
+                  allow_probe_edges: bool = False) -> QueryPlan:
+    """Generate an effectively bounded, worst-case-optimal query plan.
+
+    Raises
+    ------
+    NotEffectivelyBounded
+        If the query is not effectively bounded under ``schema`` for the
+        requested semantics (run EBChk/sEBChk first to check cheaply).
+        With ``allow_probe_edges=True``, a plan is still produced when
+        only *edges* are uncovered, verifying them by adjacency probes.
+    """
+    covers = compute_covers(pattern, schema, semantics)
+    if not covers.nodes_complete:
+        raise NotEffectivelyBounded(
+            f"nodes {covers.uncovered_nodes} are not covered by the schema",
+            uncovered_nodes=covers.uncovered_nodes,
+            uncovered_edges=covers.uncovered_edges)
+    if not covers.edges_complete and not allow_probe_edges:
+        raise NotEffectivelyBounded(
+            f"edges {covers.uncovered_edges} are not covered by the schema",
+            uncovered_edges=covers.uncovered_edges)
+
+    plan = QueryPlan(pattern=pattern, schema=schema, semantics=semantics)
+    by_target = actualized_by_target(covers.gamma)
+
+    size: dict[int, float] = {u: math.inf for u in pattern.nodes()}
+    fetched: dict[int, bool] = {u: False for u in pattern.nodes()}
+
+    def hint(node: int) -> float:
+        if not use_range_hints:
+            return math.inf
+        return pattern.predicate_of(node).max_distinct_values()
+
+    # Lines 2-6 of Fig. 4: seed from type (1) constraints.
+    for node in sorted(pattern.nodes()):
+        constraint = schema.type1_for(pattern.label_of(node))
+        if constraint is None:
+            continue
+        bound = float(constraint.bound)
+        size[node] = min(bound, hint(node))
+        fetched[node] = True
+        plan.ops.append(FetchOp(
+            target=node, source_nodes=(), constraint=constraint,
+            predicate=pattern.predicate_of(node),
+            fetch_bound=bound, size_bound=size[node]))
+
+    # Lines 7-9: reduce until fixpoint (check/ocheck).
+    max_rounds = 4 * pattern.num_nodes * pattern.num_nodes + 4
+    for _ in range(max_rounds):
+        improved = False
+        for node in sorted(pattern.nodes()):
+            choice = _best_fetch(node, by_target.get(node, ()), pattern,
+                                 size, fetched)
+            if choice is None:
+                continue
+            phi, sources, cost = choice
+            new_size = min(cost, hint(node), size[node])
+            if new_size >= size[node]:
+                continue
+            size[node] = new_size
+            fetched[node] = True
+            plan.ops.append(FetchOp(
+                target=node, source_nodes=sources, constraint=phi.constraint,
+                predicate=pattern.predicate_of(node),
+                fetch_bound=cost, size_bound=new_size))
+            improved = True
+        if not improved:
+            break
+
+    missing = [u for u in pattern.nodes() if not fetched[u]]
+    if missing:  # pragma: no cover - guarded by the cover check above
+        raise NotEffectivelyBounded(
+            f"no fetch operation derivable for nodes {missing}",
+            uncovered_nodes=missing)
+
+    plan.edge_checks = [
+        _edge_check(edge, by_target, pattern, size, fetched,
+                    allow_probe_edges)
+        for edge in pattern.edges()
+    ]
+    return plan
+
+
+def qplan(pattern: Pattern, schema: AccessSchema, **kwargs) -> QueryPlan:
+    """The paper's **QPlan** — plans for *subgraph* queries."""
+    return generate_plan(pattern, schema, SUBGRAPH, **kwargs)
+
+
+def sqplan(pattern: Pattern, schema: AccessSchema, **kwargs) -> QueryPlan:
+    """The paper's **sQPlan** — plans for *simulation* queries."""
+    return generate_plan(pattern, schema, SIMULATION, **kwargs)
+
+
+# -- internals -------------------------------------------------------------------
+def _best_fetch(node: int, candidates, pattern: Pattern,
+                size: dict[int, float], fetched: dict[int, bool]):
+    """The paper's ``check(u)``: cheapest usable actualized constraint for
+    ``node``, returning ``(φ, canonical source tuple, cost)`` or None.
+
+    For each source label the minimum-size fetched neighbour is selected —
+    the choice minimizing ``N · Π size[v]`` (worst-case optimality)."""
+    best = None
+    for phi in candidates:
+        sources = _select_sources(phi, pattern, size, fetched)
+        if sources is None:
+            continue
+        cost = float(phi.bound)
+        for v in sources:
+            cost *= size[v]
+        if best is None or cost < best[2]:
+            best = (phi, sources, cost)
+    return best
+
+
+def _select_sources(phi: ActualizedConstraint, pattern: Pattern,
+                    size: dict[int, float], fetched: dict[int, bool],
+                    required: int | None = None) -> tuple[int, ...] | None:
+    """Pick one fetched neighbour per source label of ``phi`` (minimum
+    ``size`` each), optionally forcing ``required`` to be included.
+    Returns the tuple in the constraint's canonical label order, or None
+    if some label has no fetched representative."""
+    chosen: list[int] = []
+    placed_required = required is None
+    for label in phi.constraint.source:
+        if required is not None and pattern.label_of(required) == label:
+            if required not in phi.neighbours or not fetched[required]:
+                return None
+            chosen.append(required)
+            placed_required = True
+            continue
+        best_node = None
+        for v in phi.neighbours:
+            if pattern.label_of(v) != label or not fetched[v]:
+                continue
+            if best_node is None or size[v] < size[best_node]:
+                best_node = v
+        if best_node is None:
+            return None
+        chosen.append(best_node)
+    if not placed_required:
+        return None
+    return tuple(chosen)
+
+
+def _edge_check(edge: tuple[int, int], by_target, pattern: Pattern,
+                size: dict[int, float], fetched: dict[int, bool],
+                allow_probe: bool) -> EdgeCheck:
+    """Assign the cheapest covering constraint to verify ``edge``
+    (the paper's "Building G_Q": find φ_u' and an S-labeled set containing
+    the already-fetched endpoint, fetch common neighbours, intersect)."""
+    u1, u2 = edge
+    best: EdgeCheck | None = None
+    for target, other in ((u2, u1), (u1, u2)):
+        for phi in by_target.get(target, ()):
+            sources = _select_sources(phi, pattern, size, fetched,
+                                      required=other)
+            if sources is None:
+                continue
+            cost = float(phi.bound)
+            for v in sources:
+                cost *= size[v]
+            if best is None or cost < best.cost_bound:
+                best = EdgeCheck(edge=edge, mode=EDGE_VIA_INDEX,
+                                 fetch_target=target, source_nodes=sources,
+                                 constraint=phi.constraint, cost_bound=cost)
+    if best is not None:
+        return best
+    if not allow_probe:
+        raise NotEffectivelyBounded(
+            f"edge {edge} has no covering constraint",
+            uncovered_edges=[edge])
+    return EdgeCheck(edge=edge, mode=EDGE_VIA_PROBE,
+                     cost_bound=size[u1] * size[u2])

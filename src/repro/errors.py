@@ -1,0 +1,105 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can distinguish library failures from
+programming errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (unknown nodes, duplicates...)."""
+
+
+class PatternError(ReproError):
+    """Raised for malformed pattern queries."""
+
+
+class PredicateError(PatternError):
+    """Raised for malformed predicates or non-comparable values."""
+
+
+class DslError(PatternError):
+    """Raised when parsing the textual pattern DSL fails."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed access constraints or schemas."""
+
+
+class ConstraintViolation(SchemaError):
+    """Raised when a graph violates the cardinality side of a constraint.
+
+    Attributes
+    ----------
+    constraint:
+        The violated :class:`repro.constraints.schema.AccessConstraint`.
+    witness:
+        The S-labeled node tuple whose common-neighbour count exceeds the
+        declared bound ``N``.
+    count:
+        The actual number of common neighbours observed.
+    """
+
+    def __init__(self, constraint, witness, count):
+        self.constraint = constraint
+        self.witness = witness
+        self.count = count
+        super().__init__(
+            f"constraint {constraint} violated: S-labeled set {witness} "
+            f"has {count} common neighbours (bound is {constraint.bound})"
+        )
+
+
+class NotEffectivelyBounded(ReproError):
+    """Raised when a plan is requested for a query that is not bounded.
+
+    Attributes
+    ----------
+    uncovered_nodes:
+        Query nodes missing from the node cover, if known.
+    uncovered_edges:
+        Query edges missing from the edge cover, if known.
+    """
+
+    def __init__(self, message, uncovered_nodes=(), uncovered_edges=()):
+        self.uncovered_nodes = tuple(uncovered_nodes)
+        self.uncovered_edges = tuple(uncovered_edges)
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """Raised when a query plan cannot be executed on a graph."""
+
+
+class UnverifiableEdge(PlanError):
+    """Raised in strict execution mode when a query edge has no covering
+    constraint usable by the executor (so an adjacency probe would be the
+    only option)."""
+
+
+class DiscoveryError(ReproError):
+    """Raised when constraint discovery is asked for something impossible."""
+
+
+class MatchTimeout(ReproError):
+    """Raised when a matcher exceeds its time budget.
+
+    The benchmark harness catches this to censor baselines that cannot
+    finish (the paper reports such runs as "could not run to completion
+    within 40000s").
+    """
+
+    def __init__(self, message, elapsed=None, partial=None):
+        self.elapsed = elapsed
+        self.partial = partial
+        super().__init__(message)
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for invalid experiment configs."""

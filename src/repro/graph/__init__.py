@@ -1,0 +1,21 @@
+"""Graph substrate: node-labeled directed graphs (Section II of the paper).
+
+The central class is :class:`~repro.graph.graph.Graph`, a mutable
+adjacency-set store with a built-in label index. A read-only, memory-compact
+snapshot is available as :class:`~repro.graph.frozen.FrozenGraph`; both
+expose the same read interface (:class:`~repro.graph.graph.GraphView`), so
+all matching algorithms work on either.
+"""
+
+from repro.graph.graph import Graph, GraphView
+from repro.graph.frozen import FrozenGraph
+from repro.graph.delta import GraphDelta, EdgeChange, NodeChange
+
+__all__ = [
+    "Graph",
+    "GraphView",
+    "FrozenGraph",
+    "GraphDelta",
+    "EdgeChange",
+    "NodeChange",
+]

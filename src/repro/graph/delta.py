@@ -1,0 +1,110 @@
+"""Graph deltas: batched updates ``ΔG`` to a data graph.
+
+Section II of the paper remarks that access-constraint indices "can be
+incrementally and locally maintained in response to changes to the
+underlying graph G. It suffices to inspect ``ΔG ∪ NbG(ΔG)``". This module
+defines the update batches; :mod:`repro.constraints.maintenance` implements
+the incremental index maintenance on top of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class NodeChange:
+    """Insertion or deletion of a node.
+
+    ``label``/``value`` are required for insertions; for deletions they are
+    ignored (the graph knows them).
+    """
+
+    insert: bool
+    node: int
+    label: str | None = None
+    value: object = None
+
+
+@dataclass(frozen=True)
+class EdgeChange:
+    """Insertion or deletion of a directed edge."""
+
+    insert: bool
+    source: int
+    target: int
+
+
+@dataclass
+class GraphDelta:
+    """An ordered batch of node and edge changes.
+
+    The batch is applied in order, so a delta may insert a node and then
+    edges incident to it. :meth:`apply` mutates the graph and returns the
+    set of nodes whose neighbourhood changed (``ΔG`` plus the endpoints of
+    changed edges), which is exactly the set index maintenance must
+    inspect.
+    """
+
+    changes: list = field(default_factory=list)
+
+    # -- construction helpers ---------------------------------------------------
+    def add_node(self, node: int, label: str, value=None) -> "GraphDelta":
+        self.changes.append(NodeChange(True, node, label, value))
+        return self
+
+    def remove_node(self, node: int) -> "GraphDelta":
+        self.changes.append(NodeChange(False, node))
+        return self
+
+    def add_edge(self, source: int, target: int) -> "GraphDelta":
+        self.changes.append(EdgeChange(True, source, target))
+        return self
+
+    def remove_edge(self, source: int, target: int) -> "GraphDelta":
+        self.changes.append(EdgeChange(False, source, target))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.changes)
+
+    # -- application --------------------------------------------------------------
+    def apply(self, graph: Graph) -> set[int]:
+        """Apply the batch to ``graph``; return nodes with changed
+        neighbourhoods (the *dirty* set for index maintenance).
+
+        For a removed node, its former neighbours are dirty; the removed
+        node itself no longer exists and is not reported.
+        """
+        dirty: set[int] = set()
+        for change in self.changes:
+            if isinstance(change, NodeChange):
+                if change.insert:
+                    if change.label is None:
+                        raise GraphError(
+                            f"node insertion for {change.node} must carry a label")
+                    graph.add_node(change.label, value=change.value,
+                                   node_id=change.node)
+                    dirty.add(change.node)
+                else:
+                    neighbours = set(graph.neighbors(change.node))
+                    graph.remove_node(change.node)
+                    dirty.discard(change.node)
+                    dirty |= neighbours
+            elif isinstance(change, EdgeChange):
+                if change.insert:
+                    graph.add_edge(change.source, change.target)
+                else:
+                    graph.remove_edge(change.source, change.target)
+                dirty.add(change.source)
+                dirty.add(change.target)
+            else:  # pragma: no cover - defensive
+                raise GraphError(f"unknown change type {change!r}")
+        return {v for v in dirty if graph.has_node(v)}

@@ -1,0 +1,23 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on IMDb, DBpedia 3.9 and WebBase-2001. Those datasets
+are not redistributable here, so each generator builds a synthetic graph
+with the *same structural and cardinality properties* the paper's
+algorithms consume (see DESIGN.md, "Substitutions"):
+
+* :func:`imdb_like` — movies/casts/awards with the paper's C1–C6
+  cardinality semantics, plus the published access schema ``A0``;
+* :func:`dbpedia_like` — heterogeneous knowledge graph, many labels;
+* :func:`web_like` — power-law web graph, labels are domains;
+* :func:`random_labeled_graph` — uniform random graphs for property tests.
+
+Each dataset generator returns ``(graph, schema)`` where the graph is
+guaranteed to satisfy every constraint of the schema.
+"""
+
+from repro.graph.generators.imdb import imdb_like
+from repro.graph.generators.dbpedia import dbpedia_like
+from repro.graph.generators.web import web_like
+from repro.graph.generators.random_graphs import random_labeled_graph
+
+__all__ = ["imdb_like", "dbpedia_like", "web_like", "random_labeled_graph"]

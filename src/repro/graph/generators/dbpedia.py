@@ -1,0 +1,216 @@
+"""DBpedia-like synthetic knowledge graph (the paper's DBpediaG stand-in).
+
+DBpedia's salient properties for this paper are (a) a *large number of
+labels* (entity types — 1434 in DBpedia 3.9) with zipfian population
+sizes, and (b) typed relations with natural per-entity cardinality bounds
+(a city lies in one country, a film has a handful of directors...).
+
+The generator builds a typed entity graph around a geography backbone
+(continent/country/city) with people, organizations and creative works
+attached, plus a tail of small "rare" entity types that give type (1)
+constraints the same role label frequencies played in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.graph.graph import Graph
+
+NUM_CONTINENTS = 7
+NUM_COUNTRIES = 180
+NUM_LANGUAGES = 150
+NUM_OCCUPATIONS = 90
+NUM_GENRES = 40
+NUM_RARE_TYPES = 40     # tail entity types with tiny populations
+MAX_COUNTRIES_PER_CONTINENT = 40
+
+BASE_CITIES = 2500
+BASE_PERSONS = 6000
+BASE_COMPANIES = 1200
+BASE_UNIVERSITIES = 400
+BASE_FILMS = 2500
+BASE_BOOKS = 1800
+
+MAX_INFLUENCES = 4
+MAX_FILM_CAST = 10
+MAX_FILMS_PER_PERSON = 30
+MAX_BOOKS_PER_PERSON = 25
+MAX_EMPLOYERS = 3
+MAX_PERSON_LANGUAGES = 4
+MAX_PERSON_OCCUPATIONS = 3
+
+#: Reverse-direction caps, constant in |G| (enforced during generation) —
+#: they let covers deduce downward from the geography backbone.
+MAX_CITIES_PER_COUNTRY = 60
+MAX_PERSONS_PER_CITY = 40
+MAX_COMPANIES_PER_CITY = 20
+MAX_UNIVERSITIES_PER_CITY = 8
+
+
+def dbpedia_like(scale: float = 1.0, seed: int = 0) -> tuple[Graph, AccessSchema]:
+    """Generate the DBpediaG stand-in at the given scale."""
+    rng = random.Random(seed)
+    graph = Graph()
+
+    continents = [graph.add_node("continent", value=f"continent_{i}")
+                  for i in range(NUM_CONTINENTS)]
+    countries = [graph.add_node("country", value=f"country_{i}")
+                 for i in range(NUM_COUNTRIES)]
+    languages = [graph.add_node("language", value=f"lang_{i}")
+                 for i in range(NUM_LANGUAGES)]
+    occupations = [graph.add_node("occupation", value=f"occ_{i}")
+                   for i in range(NUM_OCCUPATIONS)]
+    genres = [graph.add_node("genre", value=f"genre_{i}")
+              for i in range(NUM_GENRES)]
+
+    countries_per_continent = {c: 0 for c in continents}
+    for country in countries:
+        continent = rng.choice(continents)
+        if countries_per_continent[continent] >= MAX_COUNTRIES_PER_CONTINENT:
+            continent = min(continents, key=countries_per_continent.__getitem__)
+        countries_per_continent[continent] += 1
+        graph.add_edge(country, continent)
+        for language in rng.sample(languages, rng.randint(1, 3)):
+            graph.add_edge(country, language)
+
+    num_cities = max(int(BASE_CITIES * scale), 20)
+    num_persons = max(int(BASE_PERSONS * scale), 40)
+    num_companies = max(int(BASE_COMPANIES * scale), 10)
+    num_universities = max(int(BASE_UNIVERSITIES * scale), 5)
+    num_films = max(int(BASE_FILMS * scale), 10)
+    num_books = max(int(BASE_BOOKS * scale), 10)
+
+    def pick_capped(pool: list[int], counts: dict[int, int], cap: int) -> int:
+        """Choose a pool member whose usage is below ``cap``."""
+        choice = rng.choice(pool)
+        if counts[choice] >= cap:
+            choice = min(pool, key=counts.__getitem__)
+        counts[choice] += 1
+        return choice
+
+    cities = [graph.add_node("city", value=f"city_{i}") for i in range(num_cities)]
+    cities_per_country = {c: 0 for c in countries}
+    for city in cities:
+        graph.add_edge(city, pick_capped(countries, cities_per_country,
+                                         MAX_CITIES_PER_COUNTRY))
+
+    persons = [graph.add_node("person", value=1900 + rng.randint(0, 99))
+               for _ in range(num_persons)]
+    persons_per_city = {c: 0 for c in cities}
+    for person in persons:
+        graph.add_edge(person, pick_capped(cities, persons_per_city,
+                                           MAX_PERSONS_PER_CITY))  # birthplace
+        for language in rng.sample(languages,
+                                   rng.randint(1, MAX_PERSON_LANGUAGES)):
+            graph.add_edge(person, language)
+        for occupation in rng.sample(occupations,
+                                     rng.randint(1, MAX_PERSON_OCCUPATIONS)):
+            graph.add_edge(person, occupation)
+    for person in persons:
+        for other in rng.sample(persons, rng.randint(0, MAX_INFLUENCES)):
+            if other != person and not graph.has_edge(person, other):
+                graph.add_edge(person, other)                        # influenced
+
+    companies = [graph.add_node("company", value=f"company_{i}")
+                 for i in range(num_companies)]
+    employees_of = {p: 0 for p in persons}
+    companies_per_city = {c: 0 for c in cities}
+    for company in companies:
+        graph.add_edge(company, pick_capped(cities, companies_per_city,
+                                            MAX_COMPANIES_PER_CITY))
+        for person in rng.sample(persons, min(len(persons), rng.randint(2, 12))):
+            if employees_of[person] < MAX_EMPLOYERS:
+                graph.add_edge(person, company)
+                employees_of[person] += 1
+
+    universities = [graph.add_node("university", value=f"univ_{i}")
+                    for i in range(num_universities)]
+    universities_per_city = {c: 0 for c in cities}
+    for university in universities:
+        graph.add_edge(university, pick_capped(cities, universities_per_city,
+                                               MAX_UNIVERSITIES_PER_CITY))
+
+    # Films/books carry both edge directions to their people (starring and
+    # actedIn / author and wrote), as RDF dumps do; neighbour cardinalities
+    # are unaffected, simulation covers gain child edges.
+    films = [graph.add_node("film", value=1950 + rng.randint(0, 70))
+             for _ in range(num_films)]
+    films_per_person = {p: 0 for p in persons}
+    for film in films:
+        for genre in rng.sample(genres, rng.randint(1, 2)):
+            graph.add_edge(film, genre)
+        for person in rng.sample(persons, min(len(persons),
+                                               rng.randint(2, MAX_FILM_CAST))):
+            if films_per_person[person] < MAX_FILMS_PER_PERSON:
+                graph.add_edge(film, person)
+                graph.add_edge(person, film)
+                films_per_person[person] += 1
+
+    books = [graph.add_node("book", value=1900 + rng.randint(0, 120))
+             for _ in range(num_books)]
+    books_per_person = {p: 0 for p in persons}
+    for book in books:
+        for genre in rng.sample(genres, rng.randint(1, 2)):
+            graph.add_edge(book, genre)
+        for person in rng.sample(persons, min(len(persons), rng.randint(1, 3))):
+            if books_per_person[person] < MAX_BOOKS_PER_PERSON:
+                graph.add_edge(book, person)
+                graph.add_edge(person, book)
+                books_per_person[person] += 1
+
+    # Tail of rare entity types (e.g. "space_mission_17"): tiny populations,
+    # each member linked to a country plus chain links to the previous rare
+    # type. DBpedia 3.9 has 1434 types with zipfian sizes; this tail is what
+    # makes many of a random workload's labels type (1)-coverable.
+    rare_labels: list[str] = []
+    rare_nodes: dict[str, list[int]] = {}
+    for i in range(NUM_RARE_TYPES):
+        label = f"rare_type_{i}"
+        rare_labels.append(label)
+        members = []
+        for j in range(rng.randint(1, 12)):
+            node = graph.add_node(label, value=f"{label}_{j}")
+            graph.add_edge(node, rng.choice(countries))
+            members.append(node)
+        rare_nodes[label] = members
+    rare_pairs: list[tuple[str, str]] = []
+    for i in range(1, NUM_RARE_TYPES):
+        a, b = rare_labels[i], rare_labels[i - 1]
+        rare_pairs.append((a, b))
+        for node in rare_nodes[a]:
+            graph.add_edge(node, rng.choice(rare_nodes[b]))
+
+    schema = AccessSchema([
+        AccessConstraint((), "continent", NUM_CONTINENTS),
+        AccessConstraint((), "country", NUM_COUNTRIES),
+        AccessConstraint((), "language", NUM_LANGUAGES),
+        AccessConstraint((), "occupation", NUM_OCCUPATIONS),
+        AccessConstraint((), "genre", NUM_GENRES),
+        AccessConstraint(("country",), "continent", 1),
+        AccessConstraint(("country",), "language", 3),
+        AccessConstraint(("city",), "country", 1),
+        AccessConstraint(("person",), "city", 1),
+        AccessConstraint(("person",), "language", MAX_PERSON_LANGUAGES),
+        AccessConstraint(("person",), "occupation", MAX_PERSON_OCCUPATIONS),
+        AccessConstraint(("person",), "company", MAX_EMPLOYERS),
+        AccessConstraint(("person",), "film", MAX_FILMS_PER_PERSON),
+        AccessConstraint(("person",), "book", MAX_BOOKS_PER_PERSON),
+        AccessConstraint(("company",), "city", 1),
+        AccessConstraint(("university",), "city", 1),
+        AccessConstraint(("film",), "person", MAX_FILM_CAST),
+        AccessConstraint(("film",), "genre", 2),
+        AccessConstraint(("book",), "person", 3),
+        AccessConstraint(("book",), "genre", 2),
+        AccessConstraint(("city", "continent"), "country", 1),
+        AccessConstraint(("country",), "city", MAX_CITIES_PER_COUNTRY),
+        AccessConstraint(("city",), "person", MAX_PERSONS_PER_CITY),
+        AccessConstraint(("city",), "company", MAX_COMPANIES_PER_CITY),
+        AccessConstraint(("city",), "university", MAX_UNIVERSITIES_PER_CITY),
+        AccessConstraint(("continent",), "country", MAX_COUNTRIES_PER_CONTINENT),
+    ] + [AccessConstraint((), label, 12) for label in rare_labels]
+      + [AccessConstraint((label,), "country", 1) for label in rare_labels]
+      + [AccessConstraint((a,), b, 12) for a, b in rare_pairs]
+      + [AccessConstraint((b,), a, 12) for a, b in rare_pairs])
+    return graph, schema

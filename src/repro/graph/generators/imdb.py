@@ -1,0 +1,185 @@
+"""IMDb-like synthetic graph (the paper's IMDbG stand-in).
+
+Reproduces the cardinality semantics of Examples 1 and 3:
+
+* C1/φ1: each award is presented to at most 4 movies per year
+  — ``(year, award) -> (movie, 4)``;
+* C2/φ2: each movie has at most 30 first-billed actors and 30 actresses
+  — ``movie -> (actor, 30)``, ``movie -> (actress, 30)``;
+* C3/φ3: each person has one country of origin
+  — ``actor -> (country, 1)``, ``actress -> (country, 1)``;
+* C4–C6/φ4–φ6: 135 years, 24 awards, 196 countries
+  — ``∅ -> (year, 135)``, ``∅ -> (award, 24)``, ``∅ -> (country, 196)``.
+
+plus auxiliary structure (genres, directors, release countries) that gives
+the ‖A‖-sweep benchmarks a pool of ~20 constraints, mirroring the paper's
+"168 access constraints extracted from IMDbG; there are many more ... which
+we did not use".
+
+The node/edge counts scale linearly with ``scale`` while the label domains
+(years, awards, countries, genres) stay fixed — exactly how the paper's
+scale-factor experiment subsets a fixed universe.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.graph.graph import Graph
+
+#: Fixed label-domain sizes from the paper.
+NUM_YEARS = 135          # 1880-2014 (C4)
+NUM_AWARDS = 24          # major movie awards (C5)
+NUM_COUNTRIES = 196      # (C6)
+NUM_GENRES = 30
+NUM_STUDIOS = 150
+MAX_MOVIES_PER_STUDIO = 60
+
+#: Declared cardinality bounds (enforced during generation).
+MAX_MOVIES_PER_YEAR_AWARD = 4     # C1
+MAX_ACTORS_PER_MOVIE = 30         # C2
+MAX_AWARDS_PER_MOVIE = 8
+MAX_GENRES_PER_MOVIE = 3
+MAX_DIRECTORS_PER_MOVIE = 2
+MAX_RELEASE_COUNTRIES = 2
+MAX_MOVIES_PER_PERSON = 50
+MAX_MOVIES_PER_YEAR = 90          # release-calendar bound (constant in |G|)
+MAX_MOVIES_PER_DIRECTOR = 40
+
+#: Base population at scale 1.0.
+BASE_MOVIES = 4000
+BASE_ACTORS = 8000
+BASE_ACTRESSES = 8000
+BASE_DIRECTORS = 1200
+
+
+def imdb_like(scale: float = 1.0, seed: int = 0) -> tuple[Graph, AccessSchema]:
+    """Generate the IMDbG stand-in at the given scale.
+
+    Returns ``(graph, schema)``; the graph satisfies every constraint in
+    the schema by construction.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+
+    years = [graph.add_node("year", value=1880 + i) for i in range(NUM_YEARS)]
+    awards = [graph.add_node("award", value=f"award_{i}") for i in range(NUM_AWARDS)]
+    countries = [graph.add_node("country", value=f"country_{i}")
+                 for i in range(NUM_COUNTRIES)]
+    genres = [graph.add_node("genre", value=f"genre_{i}") for i in range(NUM_GENRES)]
+    studios = [graph.add_node("studio", value=f"studio_{i}")
+               for i in range(NUM_STUDIOS)]
+
+    num_movies = max(int(BASE_MOVIES * scale), 20)
+    num_actors = max(int(BASE_ACTORS * scale), 40)
+    num_actresses = max(int(BASE_ACTRESSES * scale), 40)
+    num_directors = max(int(BASE_DIRECTORS * scale), 10)
+
+    movies = [graph.add_node("movie", value=f"movie_{i}") for i in range(num_movies)]
+    actors = [graph.add_node("actor", value=f"actor_{i}") for i in range(num_actors)]
+    actresses = [graph.add_node("actress", value=f"actress_{i}")
+                 for i in range(num_actresses)]
+    directors = [graph.add_node("director", value=f"director_{i}")
+                 for i in range(num_directors)]
+
+    # Persons have exactly one country of origin (C3).
+    for person in actors + actresses + directors:
+        graph.add_edge(person, rng.choice(countries))
+
+    # Movies: one year, 1-3 genres, 1-2 directors, 1-2 release countries.
+    # Per-year and per-director movie counts are capped so that
+    # year -> (movie, N) and director -> (movie, N) hold at every scale.
+    movies_by_year: dict[int, list[int]] = {y: [] for y in years}
+    movies_per_director = {d: 0 for d in directors}
+    movies_per_studio = {s: 0 for s in studios}
+    for movie in movies:
+        year = rng.choice(years)
+        if len(movies_by_year[year]) >= MAX_MOVIES_PER_YEAR:
+            year = min(years, key=lambda y: len(movies_by_year[y]))
+        graph.add_edge(movie, year)
+        movies_by_year[year].append(movie)
+        studio = rng.choice(studios)
+        if movies_per_studio[studio] >= MAX_MOVIES_PER_STUDIO:
+            studio = min(studios, key=movies_per_studio.__getitem__)
+        graph.add_edge(movie, studio)
+        movies_per_studio[studio] += 1
+        for genre in rng.sample(genres, rng.randint(1, MAX_GENRES_PER_MOVIE)):
+            graph.add_edge(movie, genre)
+        for director in rng.sample(directors, rng.randint(1, MAX_DIRECTORS_PER_MOVIE)):
+            if movies_per_director[director] < MAX_MOVIES_PER_DIRECTOR:
+                graph.add_edge(movie, director)
+                movies_per_director[director] += 1
+        for country in rng.sample(countries, rng.randint(1, MAX_RELEASE_COUNTRIES)):
+            graph.add_edge(movie, country)
+
+    # Awards: for each (year, award) pair, at most 4 winning movies (C1),
+    # and each movie collects at most MAX_AWARDS_PER_MOVIE awards.
+    awards_per_movie = {m: 0 for m in movies}
+    for year in years:
+        eligible = movies_by_year[year]
+        if not eligible:
+            continue
+        for award in awards:
+            if rng.random() > 0.35:
+                continue
+            winners = rng.sample(eligible,
+                                 min(len(eligible),
+                                     rng.randint(1, MAX_MOVIES_PER_YEAR_AWARD)))
+            for movie in winners:
+                if awards_per_movie[movie] >= MAX_AWARDS_PER_MOVIE:
+                    continue
+                graph.add_edge(movie, award)
+                awards_per_movie[movie] += 1
+
+    # Casts: 3-12 first-billed actors and actresses per movie (within C2),
+    # with a per-person movie cap so person -> (movie, N) also holds.
+    # Both edge directions are materialized (movie "hasActor" person and
+    # person "actedIn" movie), as RDF-style datasets do; neighbour-based
+    # cardinalities are direction-agnostic, so every bound still holds,
+    # while simulation covers gain usable child edges.
+    movies_per_person = {p: 0 for p in actors + actresses}
+
+    def cast(movie: int, pool: list[int], count: int) -> None:
+        chosen = rng.sample(pool, min(count, len(pool)))
+        for person in chosen:
+            if movies_per_person[person] >= MAX_MOVIES_PER_PERSON:
+                continue
+            graph.add_edge(movie, person)
+            graph.add_edge(person, movie)
+            movies_per_person[person] += 1
+
+    for movie in movies:
+        cast(movie, actors, rng.randint(3, 12))
+        cast(movie, actresses, rng.randint(3, 12))
+
+    schema = AccessSchema([
+        # The paper's A0 (Example 3).
+        AccessConstraint(("year", "award"), "movie", MAX_MOVIES_PER_YEAR_AWARD),
+        AccessConstraint(("movie",), "actor", MAX_ACTORS_PER_MOVIE),
+        AccessConstraint(("movie",), "actress", MAX_ACTORS_PER_MOVIE),
+        AccessConstraint(("actor",), "country", 1),
+        AccessConstraint(("actress",), "country", 1),
+        AccessConstraint((), "year", NUM_YEARS),
+        AccessConstraint((), "award", NUM_AWARDS),
+        AccessConstraint((), "country", NUM_COUNTRIES),
+        # Auxiliary constraints (the "many more" the paper mentions).
+        AccessConstraint((), "genre", NUM_GENRES),
+        AccessConstraint(("movie",), "year", 1),
+        AccessConstraint(("movie",), "genre", MAX_GENRES_PER_MOVIE),
+        AccessConstraint(("movie",), "director", MAX_DIRECTORS_PER_MOVIE),
+        AccessConstraint(("movie",), "country", MAX_RELEASE_COUNTRIES),
+        AccessConstraint(("movie",), "award", MAX_AWARDS_PER_MOVIE),
+        AccessConstraint(("director",), "country", 1),
+        AccessConstraint(("actor",), "movie", MAX_MOVIES_PER_PERSON),
+        AccessConstraint(("actress",), "movie", MAX_MOVIES_PER_PERSON),
+        AccessConstraint(("award", "movie"), "year", 1),
+        AccessConstraint(("actress", "year"), "movie", MAX_MOVIES_PER_PERSON),
+        AccessConstraint(("actor", "year"), "movie", MAX_MOVIES_PER_PERSON),
+        AccessConstraint(("year",), "movie", MAX_MOVIES_PER_YEAR),
+        AccessConstraint(("director",), "movie", MAX_MOVIES_PER_DIRECTOR),
+        AccessConstraint((), "studio", NUM_STUDIOS),
+        AccessConstraint(("studio",), "movie", MAX_MOVIES_PER_STUDIO),
+        AccessConstraint(("movie",), "studio", 1),
+    ])
+    return graph, schema

@@ -1,0 +1,43 @@
+"""Uniform random labeled graphs — fixtures for property-based tests.
+
+Unlike the dataset generators, these graphs enforce nothing; tests pair
+them with :mod:`repro.constraints.discovery` to obtain schemas that the
+graph satisfies by construction (discovered bounds are observed maxima).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.graph import Graph
+
+
+def random_labeled_graph(num_nodes: int, num_labels: int, num_edges: int,
+                         seed: int = 0, value_range: int | None = 100,
+                         rng: random.Random | None = None) -> Graph:
+    """A random directed graph with uniform labels and integer values.
+
+    Parameters
+    ----------
+    value_range:
+        Node values are drawn from ``[0, value_range)``; pass None for
+        valueless nodes.
+    """
+    rng = rng or random.Random(seed)
+    graph = Graph()
+    for _ in range(num_nodes):
+        label = f"L{rng.randrange(max(num_labels, 1))}"
+        value = rng.randrange(value_range) if value_range else None
+        graph.add_node(label, value=value)
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        return graph
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < 10 * num_edges:
+        attempts += 1
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if source != target and graph.add_edge(source, target):
+            added += 1
+    return graph

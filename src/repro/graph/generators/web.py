@@ -1,0 +1,147 @@
+"""Web-like synthetic graph (the paper's WebBG / Webbase-2001 stand-in).
+
+WebBase labels nodes (URLs) with their domain names. What matters for the
+paper's experiments is (a) a zipfian domain-size distribution — a few huge
+domains and a long tail of small ones, giving type (1) constraints on the
+tail — and (b) scale-free link structure in which *in*-degrees are
+unbounded, so most page-to-page label pairs admit no unit constraint
+(this is why fewer web queries are effectively bounded).
+
+Structured satellite nodes (per-domain site nodes, TLDs, categories,
+registrars) provide the unit constraints a real crawl's metadata would:
+every page references exactly one site node, one registrar and at most two
+categories, and each site references one TLD.
+
+Declared type (1) bounds for tail domains use the *base* (scale = 1.0)
+population, so one schema remains valid across all scale factors —
+mirroring how the paper keeps A fixed while scaling |G|.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.graph.graph import Graph
+
+NUM_DOMAINS = 120
+NUM_TLDS = 12
+NUM_CATEGORIES = 60
+NUM_REGISTRARS = 15
+
+#: Domains with a base population at or below this are "tail" domains and
+#: get a type (1) constraint.
+TAIL_THRESHOLD = 400
+
+BASE_TOTAL_PAGES = 30000
+ZIPF_EXPONENT = 1.1
+
+MAX_INTRA_LINKS = 8
+MAX_CROSS_LINKS = 5
+MAX_CATEGORIES_PER_PAGE = 2
+
+
+def _domain_sizes(total_pages: int) -> list[int]:
+    """Zipfian page counts per domain (deterministic)."""
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(NUM_DOMAINS)]
+    weight_sum = sum(weights)
+    return [max(int(total_pages * w / weight_sum), 2) for w in weights]
+
+
+def web_like(scale: float = 1.0, seed: int = 0) -> tuple[Graph, AccessSchema]:
+    """Generate the WebBG stand-in at the given scale."""
+    rng = random.Random(seed)
+    graph = Graph()
+
+    tlds = [graph.add_node("tld", value=f"tld_{i}") for i in range(NUM_TLDS)]
+    categories = [graph.add_node("category", value=f"cat_{i}")
+                  for i in range(NUM_CATEGORIES)]
+    registrars = [graph.add_node("registrar", value=f"reg_{i}")
+                  for i in range(NUM_REGISTRARS)]
+    sites = []
+    for i in range(NUM_DOMAINS):
+        site = graph.add_node("site", value=f"dom_{i}")
+        sites.append(site)
+        graph.add_edge(site, rng.choice(tlds))
+
+    base_sizes = _domain_sizes(BASE_TOTAL_PAGES)
+    actual_sizes = [max(int(size * scale), 1) for size in base_sizes]
+
+    pages_by_domain: list[list[int]] = []
+    all_pages: list[int] = []
+    for i, size in enumerate(actual_sizes):
+        pages = [graph.add_node(f"dom_{i}", value=j) for j in range(size)]
+        pages_by_domain.append(pages)
+        all_pages.extend(pages)
+        site = sites[i]
+        registrar = rng.choice(registrars)
+        for page in pages:
+            graph.add_edge(page, site)
+            graph.add_edge(page, registrar)
+            for category in rng.sample(categories,
+                                       rng.randint(1, MAX_CATEGORIES_PER_PAGE)):
+                graph.add_edge(page, category)
+
+    # Scale-free page links: preferential attachment to early pages (hubs).
+    for i, pages in enumerate(pages_by_domain):
+        for page in pages:
+            intra = rng.randint(0, MAX_INTRA_LINKS)
+            for _ in range(intra):
+                # Preferential: early pages of the domain are hubs.
+                target = pages[min(int(rng.expovariate(4.0) * len(pages)),
+                                   len(pages) - 1)]
+                if target != page:
+                    graph.add_edge(page, target)
+            cross = rng.randint(0, MAX_CROSS_LINKS)
+            for _ in range(cross):
+                other = min(int(rng.expovariate(2.0) * NUM_DOMAINS),
+                            NUM_DOMAINS - 1)
+                bucket = pages_by_domain[other] if other < len(pages_by_domain) else pages
+                target = bucket[min(int(rng.expovariate(4.0) * len(bucket)),
+                                    len(bucket) - 1)]
+                if target != page:
+                    graph.add_edge(page, target)
+
+    constraints = [
+        AccessConstraint((), "site", NUM_DOMAINS),
+        AccessConstraint((), "tld", NUM_TLDS),
+        AccessConstraint((), "category", NUM_CATEGORIES),
+        AccessConstraint((), "registrar", NUM_REGISTRARS),
+        AccessConstraint(("site",), "tld", 1),
+    ]
+    tail = {i for i, base in enumerate(base_sizes) if base <= TAIL_THRESHOLD}
+    # Tail domains first: their type (1) constraints are the seeds that
+    # make web queries bounded, so small ‖A‖ prefixes (the Fig. 5(c,g,k)
+    # sweep restricts the schema to its first constraints) stay useful.
+    ordering = sorted(range(NUM_DOMAINS), key=lambda i: (i not in tail, i))
+    for i in ordering:
+        label = f"dom_{i}"
+        if i in tail:
+            population = max(base_sizes[i], actual_sizes[i])
+            constraints.append(AccessConstraint((), label, population))
+            # A site node has at most |dom_i| page neighbours of its own
+            # domain, and tail populations are constant in |G|.
+            constraints.append(AccessConstraint(("site",), label, population))
+        constraints.append(AccessConstraint((label,), "site", 1))
+        constraints.append(AccessConstraint((label,), "registrar", 1))
+        constraints.append(AccessConstraint((label,), "category",
+                                            MAX_CATEGORIES_PER_PAGE))
+
+    # Page-to-page constraints between *tail* domains: a dom_i page can
+    # have at most |dom_j| neighbours labeled dom_j, and tail populations
+    # are constant in |G| — so dom_i -> (dom_j, base_j) always holds.
+    # Only pairs that actually occur as links are declared (mirroring the
+    # paper's "we extracted constraints ... using degree bounds").
+    linked_pairs: set[tuple[int, int]] = set()
+    for i in tail:
+        for page in pages_by_domain[i]:
+            for other_page in graph.neighbors(page):
+                other_label = graph.label_of(other_page)
+                if other_label.startswith("dom_"):
+                    j = int(other_label[4:])
+                    if j in tail:
+                        linked_pairs.add((i, j))
+    for (i, j) in sorted(linked_pairs):
+        bound = max(base_sizes[j], actual_sizes[j])
+        constraints.append(AccessConstraint((f"dom_{i}",), f"dom_{j}", bound))
+    return graph, AccessSchema(constraints)

@@ -1,0 +1,127 @@
+"""Graph serialization: TSV and JSON round-trips.
+
+Two formats are supported:
+
+* **TSV** — a simple two-section text format, convenient for large graphs
+  and for eyeballing:
+
+  .. code-block:: text
+
+     # nodes: id <TAB> label <TAB> value(optional, JSON-encoded)
+     N	0	movie	"Skyfall"
+     N	1	year	2012
+     # edges: source <TAB> target
+     E	0	1
+
+* **JSON** — a single document with ``nodes`` and ``edges`` arrays; handy
+  for small fixtures and interchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, GraphView
+
+
+# --------------------------------------------------------------------------- TSV
+def write_tsv(graph: GraphView, destination) -> None:
+    """Write ``graph`` to a path or text file object in TSV format."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write_tsv(graph, handle)
+    else:
+        _write_tsv(graph, destination)
+
+
+def _write_tsv(graph: GraphView, handle: TextIO) -> None:
+    for v in sorted(graph.nodes()):
+        value = graph.value_of(v)
+        if value is None:
+            handle.write(f"N\t{v}\t{graph.label_of(v)}\n")
+        else:
+            handle.write(f"N\t{v}\t{graph.label_of(v)}\t{json.dumps(value)}\n")
+    for v in sorted(graph.nodes()):
+        for w in sorted(graph.out_neighbors(v)):
+            handle.write(f"E\t{v}\t{w}\n")
+
+
+def read_tsv(source) -> Graph:
+    """Read a graph from a path or text file object in TSV format."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_tsv(handle)
+    return _read_tsv(source)
+
+
+def _read_tsv(handle: TextIO) -> Graph:
+    graph = Graph()
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        kind = parts[0]
+        if kind == "N":
+            if len(parts) not in (3, 4):
+                raise GraphError(f"line {lineno}: malformed node row {line!r}")
+            node_id = int(parts[1])
+            value = json.loads(parts[3]) if len(parts) == 4 else None
+            graph.add_node(parts[2], value=value, node_id=node_id)
+        elif kind == "E":
+            if len(parts) != 3:
+                raise GraphError(f"line {lineno}: malformed edge row {line!r}")
+            graph.add_edge(int(parts[1]), int(parts[2]))
+        else:
+            raise GraphError(f"line {lineno}: unknown row kind {kind!r}")
+    return graph
+
+
+# -------------------------------------------------------------------------- JSON
+def to_dict(graph: GraphView) -> dict:
+    """Convert a graph to a JSON-serializable dict."""
+    nodes = []
+    for v in sorted(graph.nodes()):
+        entry = {"id": v, "label": graph.label_of(v)}
+        value = graph.value_of(v)
+        if value is not None:
+            entry["value"] = value
+        nodes.append(entry)
+    edges = [[v, w] for v in sorted(graph.nodes())
+             for w in sorted(graph.out_neighbors(v))]
+    return {"nodes": nodes, "edges": edges}
+
+
+def from_dict(payload: dict) -> Graph:
+    """Build a graph from the dict produced by :func:`to_dict`."""
+    graph = Graph()
+    try:
+        for entry in payload["nodes"]:
+            graph.add_node(entry["label"], value=entry.get("value"),
+                           node_id=int(entry["id"]))
+        for source, target in payload["edges"]:
+            graph.add_edge(int(source), int(target))
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph document: {exc}") from exc
+    return graph
+
+
+def write_json(graph: GraphView, destination) -> None:
+    """Write ``graph`` as JSON to a path or text file object."""
+    payload = to_dict(graph)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, destination)
+
+
+def read_json(source) -> Graph:
+    """Read a graph from JSON at a path or text file object."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return from_dict(json.load(handle))
+    return from_dict(json.load(source))

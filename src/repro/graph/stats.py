@@ -1,0 +1,111 @@
+"""Graph profiling: the statistics that drive constraint discovery.
+
+The paper's Section II discovers access constraints from "degree bounds,
+label frequencies and data semantics". This module computes those profiles
+in one pass each, so a user can eyeball where constraints will come from
+before running :mod:`repro.constraints.discovery`:
+
+* label histogram (type (1) candidates),
+* per-label-pair neighbour-degree distributions (type (2) candidates),
+* degree distribution summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.graph import GraphView
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of a non-negative integer distribution."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+    p50: int
+    p90: int
+    p99: int
+
+    @classmethod
+    def from_values(cls, values) -> "DistributionSummary":
+        data = sorted(values)
+        if not data:
+            return cls(0, 0, 0, 0.0, 0, 0, 0)
+
+        def pct(q: float) -> int:
+            return data[min(int(q * len(data)), len(data) - 1)]
+
+        return cls(count=len(data), minimum=data[0], maximum=data[-1],
+                   mean=sum(data) / len(data),
+                   p50=pct(0.50), p90=pct(0.90), p99=pct(0.99))
+
+
+def label_histogram(graph: GraphView) -> dict[str, int]:
+    """Node counts per label, descending — small tails are the type (1)
+    constraint candidates."""
+    counts = {label: graph.label_count(label) for label in graph.labels()}
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def degree_summary(graph: GraphView) -> dict[str, DistributionSummary]:
+    """Out/in/total degree distributions over all nodes."""
+    outs, ins, totals = [], [], []
+    for v in graph.nodes():
+        out_degree = graph.out_degree(v)
+        in_degree = graph.in_degree(v)
+        outs.append(out_degree)
+        ins.append(in_degree)
+        totals.append(graph.degree(v))
+    return {
+        "out": DistributionSummary.from_values(outs),
+        "in": DistributionSummary.from_values(ins),
+        "total": DistributionSummary.from_values(totals),
+    }
+
+
+def label_pair_degrees(graph: GraphView,
+                       max_pairs: int | None = None
+                       ) -> dict[tuple[str, str], DistributionSummary]:
+    """For each ordered label pair ``(l, l')``: the distribution of
+    "number of ``l'``-labeled neighbours" over ``l``-labeled nodes.
+
+    The ``maximum`` column of each row is exactly the bound
+    :func:`repro.constraints.discovery.discover_unit` would declare.
+    """
+    per_pair: dict[tuple[str, str], list[int]] = {}
+    for v in graph.nodes():
+        label = graph.label_of(v)
+        counts = Counter(graph.label_of(w) for w in graph.neighbors(v))
+        for other, count in counts.items():
+            per_pair.setdefault((label, other), []).append(count)
+    summaries = {pair: DistributionSummary.from_values(values)
+                 for pair, values in per_pair.items()}
+    ordered = dict(sorted(summaries.items(),
+                          key=lambda kv: (kv[1].maximum, kv[0])))
+    if max_pairs is not None:
+        ordered = dict(list(ordered.items())[:max_pairs])
+    return ordered
+
+
+def profile(graph: GraphView, top_labels: int = 15,
+            top_pairs: int = 15) -> str:
+    """Human-readable profile of a graph (used by the CLI and notebooks)."""
+    lines = [f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+             f"{len(graph.labels())} labels"]
+    lines.append("\nlabel histogram (top):")
+    for label, count in list(label_histogram(graph).items())[:top_labels]:
+        lines.append(f"  {label:24s} {count}")
+    lines.append("\ndegrees:")
+    for kind, summary in degree_summary(graph).items():
+        lines.append(f"  {kind:6s} max={summary.maximum:6d} "
+                     f"mean={summary.mean:8.2f} p90={summary.p90:5d} "
+                     f"p99={summary.p99:5d}")
+    lines.append("\ntightest label-pair bounds (type (2) candidates):")
+    for (la, lb), summary in list(label_pair_degrees(graph).items())[:top_pairs]:
+        lines.append(f"  {la} -> {lb}: max={summary.maximum} "
+                     f"(over {summary.count} nodes)")
+    return "\n".join(lines)

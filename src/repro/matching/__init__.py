@@ -1,0 +1,38 @@
+"""Pattern matchers: the two query semantics and four evaluation routes.
+
+From-scratch matchers (the paper's baselines):
+
+* :func:`find_matches` / :func:`count_matches` — **VF2**-style subgraph
+  isomorphism (all matches of Q in G, non-induced, label+predicate aware);
+* :func:`simulate` — **gsim**, the maximum graph-simulation relation
+  (Henzinger-Henzinger-Kopke style counter fixpoint).
+
+Index-assisted baselines (the paper's optVF2/optgsim):
+
+* :func:`opt_vf2` / :func:`opt_gsim` — same algorithms seeded with
+  candidates retrieved through type (1) constraint indices.
+
+Bounded evaluation (the paper's bVF2/bSim):
+
+* :func:`bvf2` / :func:`bsim` — execute a (worst-case optimal) query plan
+  to fetch ``G_Q``, then match inside ``G_Q`` only.
+"""
+
+from repro.matching.vf2 import find_matches, count_matches, match_exists
+from repro.matching.simulation import simulate, simulation_holds
+from repro.matching.optimized import opt_vf2, opt_gsim, type1_candidates
+from repro.matching.bounded import bvf2, bsim, BoundedRun
+
+__all__ = [
+    "find_matches",
+    "count_matches",
+    "match_exists",
+    "simulate",
+    "simulation_holds",
+    "opt_vf2",
+    "opt_gsim",
+    "type1_candidates",
+    "bvf2",
+    "bsim",
+    "BoundedRun",
+]

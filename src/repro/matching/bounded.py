@@ -1,0 +1,73 @@
+"""Bounded evaluation: the paper's bVF2 and bSim.
+
+For an effectively bounded query, evaluation is:
+
+1. generate (or reuse) a worst-case-optimal plan (QPlan/sQPlan);
+2. execute it against the schema indexes, fetching ``G_Q`` — time and
+   data volume depend only on ``Q`` and ``A``;
+3. run the conventional matcher *inside* ``G_Q``, restricted to the
+   fetched candidate sets.
+
+``Q(G_Q) = Q(G)`` by Theorems 1/7, so the result is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting import AccessStats
+from repro.constraints.index import SchemaIndex
+from repro.core.executor import ExecutionResult, execute_plan
+from repro.core.plan import QueryPlan
+from repro.core.qplan import qplan, sqplan
+from repro.matching.simulation import simulate
+from repro.matching.vf2 import find_matches
+from repro.pattern.pattern import Pattern
+
+
+@dataclass
+class BoundedRun:
+    """A bounded evaluation: the answer plus full provenance."""
+
+    answer: object                 # list of mappings (bVF2) or relation (bSim)
+    execution: ExecutionResult
+
+    @property
+    def plan(self) -> QueryPlan:
+        return self.execution.plan
+
+    @property
+    def stats(self) -> AccessStats:
+        return self.execution.stats
+
+    @property
+    def gq(self):
+        return self.execution.gq
+
+
+def bvf2(pattern: Pattern, schema_index: SchemaIndex,
+         plan: QueryPlan | None = None,
+         stats: AccessStats | None = None) -> BoundedRun:
+    """Bounded subgraph-query evaluation (the paper's bVF2).
+
+    Raises :class:`~repro.errors.NotEffectivelyBounded` when no plan is
+    supplied and the query is not effectively bounded.
+    """
+    if plan is None:
+        plan = qplan(pattern, schema_index.schema)
+    execution = execute_plan(plan, schema_index, stats=stats)
+    matches = find_matches(pattern, execution.gq,
+                           candidates=execution.candidates)
+    return BoundedRun(answer=matches, execution=execution)
+
+
+def bsim(pattern: Pattern, schema_index: SchemaIndex,
+         plan: QueryPlan | None = None,
+         stats: AccessStats | None = None) -> BoundedRun:
+    """Bounded simulation-query evaluation (the paper's bSim)."""
+    if plan is None:
+        plan = sqplan(pattern, schema_index.schema)
+    execution = execute_plan(plan, schema_index, stats=stats)
+    relation = simulate(pattern, execution.gq,
+                        candidates=execution.candidates)
+    return BoundedRun(answer=relation, execution=execution)

@@ -1,0 +1,141 @@
+"""Graph simulation: the maximum match relation (the paper's gsim).
+
+Section II's simulation semantics: ``Q(G)`` is the unique maximum relation
+``R ⊆ V_Q × V`` such that (a) matched nodes agree on label and predicate,
+and (b) every pattern node has a match, and whenever ``(u, v) ∈ R`` and
+``(u, u') ∈ E_Q`` there is an edge ``(v, v') ∈ E`` with ``(u', v') ∈ R``.
+If no *total* relation exists, ``Q(G)`` is empty.
+
+The fixpoint is the counter-based refinement of Henzinger, Henzinger &
+Kopke (FOCS 1995), the paper's reference [20]: for every pattern edge
+``(u, u')`` and candidate ``v`` of ``u``, a counter tracks how many
+successors of ``v`` remain in ``sim(u')``; when it hits zero ``v`` is
+evicted from ``sim(u)`` and the eviction propagates. This gives the
+``O((|V|+|V_Q|)(|E|+|E_Q|))`` behaviour the paper quotes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.errors import MatchTimeout, PatternError
+from repro.graph.graph import GraphView
+from repro.pattern.pattern import Pattern
+
+
+def simulate(pattern: Pattern, graph: GraphView,
+             candidates: Mapping[int, set[int]] | None = None,
+             timeout: float | None = None) -> dict[int, set[int]]:
+    """The maximum simulation relation as ``{pattern node: match set}``.
+
+    Returns ``{}`` when the maximum relation is not total (the paper's
+    ``Q(G) = ∅``). Pass ``candidates`` to restrict the initial match sets
+    (they must be supersets of the true matches); optgsim and bSim use
+    this hook.
+    """
+    if pattern.num_nodes == 0:
+        raise PatternError("cannot simulate an empty pattern")
+    started = time.monotonic()
+
+    # Initial match sets: label + predicate (+ caller restriction).
+    sim: dict[int, set[int]] = {}
+    for u in pattern.nodes():
+        label = pattern.label_of(u)
+        predicate = pattern.predicate_of(u)
+        if candidates is not None and u in candidates:
+            base = candidates[u]
+        else:
+            base = graph.nodes_with_label(label)
+        sim[u] = {v for v in base
+                  if graph.label_of(v) == label
+                  and (predicate.is_trivial or predicate.evaluate(graph.value_of(v)))}
+        if not sim[u]:
+            return {}
+
+    # Counters: per pattern edge (u, u') and candidate v of u, how many
+    # successors of v remain in sim(u').
+    pattern_edges = list(pattern.edges())
+    counters: dict[tuple[int, int, int], int] = {}
+    removals: list[tuple[int, int]] = []  # (pattern node, evicted data node)
+
+    initialized = 0
+    for (u, u_child) in pattern_edges:
+        child_set = sim[u_child]
+        for v in list(sim[u]):
+            initialized += 1
+            if timeout is not None and initialized % 4096 == 0:
+                elapsed = time.monotonic() - started
+                if elapsed > timeout:
+                    raise MatchTimeout(f"simulation exceeded {timeout}s",
+                                       elapsed=elapsed)
+            count = 0
+            for w in graph.out_neighbors(v):
+                if w in child_set:
+                    count += 1
+            counters[(u, u_child, v)] = count
+            if count == 0:
+                sim[u].discard(v)
+                removals.append((u, v))
+        if not sim[u]:
+            return {}
+
+    # Pattern edges grouped by child, for eviction propagation.
+    edges_into: dict[int, list[int]] = {}
+    for (u, u_child) in pattern_edges:
+        edges_into.setdefault(u_child, []).append(u)
+
+    steps = 0
+    while removals:
+        steps += 1
+        if timeout is not None and steps % 4096 == 0:
+            elapsed = time.monotonic() - started
+            if elapsed > timeout:
+                raise MatchTimeout(f"simulation exceeded {timeout}s",
+                                   elapsed=elapsed)
+        u_child, removed = removals.pop()
+        for u in edges_into.get(u_child, ()):
+            pool = sim[u]
+            for v in graph.in_neighbors(removed):
+                if v not in pool:
+                    continue
+                key = (u, u_child, v)
+                counters[key] -= 1
+                if counters[key] == 0:
+                    pool.discard(v)
+                    removals.append((u, v))
+            if not pool:
+                return {}
+    return sim
+
+
+def simulation_holds(pattern: Pattern, graph: GraphView,
+                     relation: Mapping[int, set[int]]) -> bool:
+    """Verify that ``relation`` is a total simulation (test oracle).
+
+    Checks conditions (a) and (b) of the paper's definition directly;
+    used by property tests to validate :func:`simulate` output.
+    """
+    if not relation:
+        return False
+    for u in pattern.nodes():
+        matches = relation.get(u, set())
+        if not matches:
+            return False
+        predicate = pattern.predicate_of(u)
+        for v in matches:
+            if graph.label_of(v) != pattern.label_of(u):
+                return False
+            if not predicate.is_trivial and not predicate.evaluate(graph.value_of(v)):
+                return False
+            for u_child in pattern.out_neighbors(u):
+                child_matches = relation.get(u_child, set())
+                if not any(w in child_matches for w in graph.out_neighbors(v)):
+                    return False
+    return True
+
+
+def relation_pairs(relation: Mapping[int, set[int]]) -> set[tuple[int, int]]:
+    """Flatten a relation into ``(pattern node, data node)`` pairs — the
+    paper's ``R ⊆ V_Q × V`` form, convenient for equality assertions."""
+    return {(u, v) for u, matches in relation.items() for v in matches}

@@ -1,0 +1,25 @@
+"""Pattern queries ``Q = (V_Q, E_Q, f_Q, g_Q)`` (Section II of the paper).
+
+A pattern is a small directed graph whose nodes carry a label and a
+*predicate* — a conjunction of atomic comparisons on the attribute value of
+matched data nodes (e.g. ``year >= 2011 AND year <= 2013``).
+
+Patterns can be built programmatically (:class:`Pattern`), parsed from a
+compact text DSL (:func:`parse_pattern`), or generated at random with the
+paper's workload parameters (:class:`PatternGenerator`).
+"""
+
+from repro.pattern.predicates import Atom, Predicate, TRUE
+from repro.pattern.pattern import Pattern
+from repro.pattern.dsl import parse_pattern, format_pattern
+from repro.pattern.generator import PatternGenerator
+
+__all__ = [
+    "Atom",
+    "Predicate",
+    "TRUE",
+    "Pattern",
+    "parse_pattern",
+    "format_pattern",
+    "PatternGenerator",
+]

@@ -1,0 +1,123 @@
+"""A compact text DSL for pattern queries.
+
+The grammar has three statement kinds, separated by ``;`` or newlines:
+
+* node declaration: ``name: label`` — e.g. ``m: movie``
+* edge declaration: ``a -> b`` (or a chain ``a -> b -> c``)
+* predicate: ``name.value OP constant`` — e.g. ``y.value >= 2011``
+
+Example — the paper's Q0 (Fig. 1):
+
+.. code-block:: text
+
+    aw: award;  y: year;  m: movie
+    a: actor;  s: actress;  c: country
+    m -> aw;  m -> y;  m -> a;  m -> s
+    a -> c;  s -> c
+    y.value >= 2011;  y.value <= 2013
+
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DslError
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import Atom, Predicate
+
+_NODE_RE = re.compile(r"^(?P<name>\w+)\s*:\s*(?P<label>[\w./-]+)$")
+_EDGE_RE = re.compile(r"^\w+(\s*->\s*\w+)+$")
+_PRED_RE = re.compile(
+    r"^(?P<name>\w+)\.value\s*(?P<op>=|!=|<=|>=|<|>)\s*(?P<constant>.+)$")
+
+
+def parse_pattern(text: str, name: str = "") -> Pattern:
+    """Parse DSL ``text`` into a :class:`Pattern`.
+
+    Raises :class:`~repro.errors.DslError` with a line reference on any
+    syntax problem.
+    """
+    pattern = Pattern(name=name)
+    ids: dict[str, int] = {}
+    pending_predicates: list[tuple[str, Atom, int]] = []
+
+    statements = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0]
+        for statement in line.split(";"):
+            statement = statement.strip()
+            if statement:
+                statements.append((lineno, statement))
+
+    for lineno, statement in statements:
+        node_match = _NODE_RE.match(statement)
+        if node_match:
+            node_name = node_match.group("name")
+            if node_name in ids:
+                raise DslError(f"line {lineno}: node {node_name!r} declared twice")
+            ids[node_name] = pattern.add_node(node_match.group("label"))
+            continue
+
+        pred_match = _PRED_RE.match(statement)
+        if pred_match:
+            constant = _parse_constant(pred_match.group("constant"), lineno)
+            atom = Atom(pred_match.group("op"), constant)
+            pending_predicates.append((pred_match.group("name"), atom, lineno))
+            continue
+
+        if _EDGE_RE.match(statement):
+            chain = [part.strip() for part in statement.split("->")]
+            for source, target in zip(chain, chain[1:]):
+                for endpoint in (source, target):
+                    if endpoint not in ids:
+                        raise DslError(
+                            f"line {lineno}: edge references undeclared node {endpoint!r}")
+                pattern.add_edge(ids[source], ids[target])
+            continue
+
+        raise DslError(f"line {lineno}: cannot parse statement {statement!r}")
+
+    for node_name, atom, lineno in pending_predicates:
+        if node_name not in ids:
+            raise DslError(
+                f"line {lineno}: predicate references undeclared node {node_name!r}")
+        node = ids[node_name]
+        pattern.set_predicate(node, pattern.predicate_of(node).and_(Predicate((atom,))))
+
+    return pattern
+
+
+def _parse_constant(raw: str, lineno: int):
+    raw = raw.strip()
+    if not raw:
+        raise DslError(f"line {lineno}: empty predicate constant")
+    if raw[0] in "\"'":
+        if len(raw) < 2 or raw[-1] != raw[0]:
+            raise DslError(f"line {lineno}: unterminated string constant {raw!r}")
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise DslError(f"line {lineno}: cannot parse constant {raw!r}") from None
+
+
+def format_pattern(pattern: Pattern) -> str:
+    """Render a pattern back into DSL text (inverse of
+    :func:`parse_pattern`, up to node naming)."""
+    names = {node: f"n{node}" for node in sorted(pattern.nodes())}
+    lines = [f"{names[node]}: {pattern.label_of(node)}"
+             for node in sorted(pattern.nodes())]
+    lines.extend(f"{names[source]} -> {names[target]}"
+                 for source, target in pattern.edges())
+    for node in sorted(pattern.nodes()):
+        for atom in pattern.predicate_of(node).atoms:
+            constant = atom.constant
+            rendered = f'"{constant}"' if isinstance(constant, str) else repr(constant)
+            lines.append(f"{names[node]}.value {atom.op} {rendered}")
+    return "\n".join(lines)

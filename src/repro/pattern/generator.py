@@ -1,0 +1,253 @@
+"""Random pattern-query generator (the paper's Section VII workload).
+
+The paper generates 100 queries per dataset "using its labels, controlled
+by #n, #e and #p, the number of nodes, edges and match predicates in the
+ranges [3, 7], [#n-1, 1.5*#n] and [2, 8]".
+
+To make the generated queries meaningful (i.e. structurally possible in
+the data), the generator learns the *label adjacency* of a data graph —
+which ordered label pairs actually occur as edges — and grows patterns by
+random walks over that label graph. Predicates are synthesized from value
+samples observed per label.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import PatternError
+from repro.graph.graph import GraphView
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import Atom, Predicate
+
+#: Paper defaults: #n in [3,7], #e in [#n-1, 1.5#n], #p in [2,8].
+DEFAULT_NODE_RANGE = (3, 7)
+DEFAULT_PREDICATE_RANGE = (2, 8)
+
+
+class PatternGenerator:
+    """Generates random patterns grounded in a data graph's label structure.
+
+    Parameters
+    ----------
+    label_edges:
+        Ordered label pairs ``(la, lb)`` such that an edge from an
+        ``la``-node to an ``lb``-node exists in the data.
+    value_samples:
+        Per-label list of observed attribute values, used to build
+        predicates that are actually satisfiable in the data.
+    rng:
+        A :class:`random.Random`; pass a seeded instance for reproducible
+        workloads.
+    schema / anchor_bias:
+        When a schema is supplied, label choices are biased (with
+        probability ``anchor_bias``) toward labels and label pairs that
+        some access constraint touches. This compensates for the label
+        poverty of synthetic data: the paper's datasets have hundreds to
+        thousands of labels, so *uniform* label sampling there lands on
+        constraint-covered labels far more often than on a generator with
+        a few dozen labels. ``anchor_bias=0`` restores uniform sampling.
+    """
+
+    def __init__(self, label_edges: Sequence[tuple[str, str]],
+                 value_samples: dict[str, list] | None = None,
+                 rng: random.Random | None = None,
+                 schema=None, anchor_bias: float = 0.65):
+        if not label_edges:
+            raise PatternError("cannot generate patterns without label adjacency")
+        self.label_edges = sorted(set(label_edges))
+        self.value_samples = value_samples or {}
+        self.rng = rng or random.Random(0)
+        self.anchor_bias = anchor_bias if schema is not None else 0.0
+        self._forward: dict[str, list[str]] = {}
+        self._backward: dict[str, list[str]] = {}
+        for la, lb in self.label_edges:
+            self._forward.setdefault(la, []).append(lb)
+            self._backward.setdefault(lb, []).append(la)
+        self._labels = sorted(set(self._forward) | set(self._backward))
+        self._seed_labels: list[str] = []
+        self._anchored_pairs: set[frozenset[str]] = set()
+        # propagating[l] = labels deducible *from* l through a constraint
+        # (l in the source, the other label the target) — extensions along
+        # these pairs keep the node cover growing.
+        self._propagating: dict[str, set[str]] = {}
+        if schema is not None:
+            for constraint in schema:
+                if constraint.is_type1:
+                    self._seed_labels.append(constraint.target)
+                for source_label in constraint.source:
+                    self._anchored_pairs.add(
+                        frozenset((source_label, constraint.target)))
+                    self._propagating.setdefault(source_label, set()).add(
+                        constraint.target)
+        self._seed_labels = sorted(set(self._seed_labels) & set(self._labels))
+
+    @classmethod
+    def from_graph(cls, graph: GraphView, rng: random.Random | None = None,
+                   max_value_samples: int = 50,
+                   max_edge_scan: int = 200_000,
+                   schema=None, anchor_bias: float = 0.65) -> "PatternGenerator":
+        """Learn label adjacency and value samples from a data graph.
+
+        ``max_edge_scan`` caps the number of edges inspected so workload
+        construction stays cheap on large graphs.
+        """
+        label_edges: set[tuple[str, str]] = set()
+        scanned = 0
+        for v, w in graph.edges():
+            label_edges.add((graph.label_of(v), graph.label_of(w)))
+            scanned += 1
+            if scanned >= max_edge_scan:
+                break
+        samples: dict[str, list] = {}
+        for label in graph.labels():
+            bucket = []
+            for node in graph.nodes_with_label(label):
+                value = graph.value_of(node)
+                if value is not None:
+                    bucket.append(value)
+                if len(bucket) >= max_value_samples:
+                    break
+            if bucket:
+                samples[label] = bucket
+        return cls(sorted(label_edges), samples, rng=rng,
+                   schema=schema, anchor_bias=anchor_bias)
+
+    # -- single pattern -----------------------------------------------------
+    def generate(self, num_nodes: int | None = None,
+                 num_edges: int | None = None,
+                 num_predicates: int | None = None,
+                 name: str = "") -> Pattern:
+        """Generate one random connected pattern.
+
+        Unspecified knobs are drawn from the paper's ranges.
+        """
+        rng = self.rng
+        if num_nodes is None:
+            num_nodes = rng.randint(*DEFAULT_NODE_RANGE)
+        if num_nodes < 1:
+            raise PatternError("patterns need at least one node")
+        if num_edges is None:
+            lo = max(num_nodes - 1, 1)
+            hi = max(lo, int(1.5 * num_nodes))
+            num_edges = rng.randint(lo, hi)
+        if num_predicates is None:
+            num_predicates = rng.randint(*DEFAULT_PREDICATE_RANGE)
+
+        pattern = Pattern(name=name)
+        if self._seed_labels and rng.random() < self.anchor_bias:
+            start_label = rng.choice(self._seed_labels)
+        else:
+            start_label = rng.choice(self._labels)
+        node_labels = [start_label]
+        pattern.add_node(start_label)
+
+        # Grow a random spanning tree over label-adjacent labels.
+        while pattern.num_nodes < num_nodes:
+            anchor = rng.randrange(pattern.num_nodes)
+            anchor_label = node_labels[anchor]
+            extension = self._random_extension(anchor_label)
+            if extension is None:
+                # Anchor label is isolated in the label graph; retry from
+                # another anchor, or give up growing if none can extend.
+                if not any(self._random_extension(l) for l in node_labels):
+                    break
+                continue
+            new_label, outgoing = extension
+            new_node = pattern.add_node(new_label)
+            node_labels.append(new_label)
+            if outgoing:
+                pattern.add_edge(anchor, new_node)
+            else:
+                pattern.add_edge(new_node, anchor)
+
+        # Add extra edges between existing nodes where label adjacency allows.
+        attempts = 0
+        while pattern.num_edges < num_edges and attempts < 20 * num_edges:
+            attempts += 1
+            a = rng.randrange(pattern.num_nodes)
+            b = rng.randrange(pattern.num_nodes)
+            if a == b or pattern.has_edge(a, b):
+                continue
+            if (node_labels[a], node_labels[b]) in self._forward_set():
+                pattern.add_edge(a, b)
+
+        self._attach_predicates(pattern, node_labels, num_predicates)
+        return pattern
+
+    def generate_many(self, count: int, **kwargs) -> list[Pattern]:
+        """Generate ``count`` patterns (the paper's 100-query workloads)."""
+        return [self.generate(name=f"q{i}", **kwargs) for i in range(count)]
+
+    # -- internals ------------------------------------------------------------
+    def _forward_set(self) -> set[tuple[str, str]]:
+        return set(self.label_edges)
+
+    def _random_extension(self, label: str):
+        """Pick a random label adjacent to ``label``; returns
+        ``(new_label, outgoing)`` or None if the label has no neighbours.
+
+        With probability ``anchor_bias``, the choice is restricted to
+        labels forming a constraint-anchored pair with ``label`` (see
+        class docstring), when any exist."""
+        choices = []
+        for other in self._forward.get(label, ()):
+            choices.append((other, True))
+        for other in self._backward.get(label, ()):
+            choices.append((other, False))
+        if not choices:
+            return None
+        if self._anchored_pairs and self.rng.random() < self.anchor_bias:
+            forward = self._propagating.get(label, set())
+            propagating = [(other, outgoing) for other, outgoing in choices
+                           if other in forward]
+            if propagating:
+                choices = propagating
+            else:
+                anchored = [(other, outgoing) for other, outgoing in choices
+                            if frozenset((label, other)) in self._anchored_pairs]
+                if anchored:
+                    choices = anchored
+        return self.rng.choice(choices)
+
+    def _attach_predicates(self, pattern: Pattern, node_labels: list[str],
+                           budget: int) -> None:
+        """Spread up to ``budget`` predicate atoms over nodes with sampled
+        values, mimicking the paper's #p knob."""
+        rng = self.rng
+        eligible = [node for node in pattern.nodes()
+                    if node_labels[node] in self.value_samples]
+        if not eligible:
+            return
+        added = 0
+        attempts = 0
+        while added < budget and attempts < 4 * budget:
+            attempts += 1
+            node = rng.choice(eligible)
+            samples = self.value_samples[node_labels[node]]
+            value = rng.choice(samples)
+            atom = self._random_atom(value)
+            if atom is None:
+                continue
+            current = pattern.predicate_of(node)
+            candidate = current.and_(Predicate((atom,)))
+            if not candidate.is_satisfiable():
+                continue
+            pattern.set_predicate(node, candidate)
+            added += 1
+
+    def _random_atom(self, value) -> Atom | None:
+        rng = self.rng
+        if isinstance(value, bool):
+            return Atom("=", value)
+        if isinstance(value, (int, float)):
+            op = rng.choice(["=", ">=", "<=", ">", "<"])
+            if op in (">=", ">"):
+                return Atom(op, value - rng.randint(0, 3))
+            if op in ("<=", "<"):
+                return Atom(op, value + rng.randint(0, 3))
+            return Atom("=", value)
+        if isinstance(value, str):
+            return Atom("=", value)
+        return None

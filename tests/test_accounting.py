@@ -1,0 +1,64 @@
+"""Tests for access accounting."""
+
+from repro.accounting import AccessStats
+
+
+class TestAccessStats:
+    def test_initial_zero(self):
+        stats = AccessStats()
+        assert stats.nodes_fetched == 0
+        assert stats.edges_checked == 0
+        assert stats.total_accessed == 0
+        assert stats.distinct_nodes == 0
+
+    def test_record_fetch_counts_multiplicity(self):
+        stats = AccessStats()
+        stats.record_fetch([1, 2, 3])
+        stats.record_fetch([2, 3, 4])
+        assert stats.nodes_fetched == 6       # with multiplicity
+        assert stats.distinct_nodes == 4      # deduplicated
+        assert stats.index_fetches == 2
+
+    def test_record_edge_checks(self):
+        stats = AccessStats()
+        stats.record_edge_checks(5)
+        assert stats.edges_checked == 5
+        assert stats.nodes_fetched == 0
+
+    def test_record_edge_fetch(self):
+        """Edge-phase fetches count as edge examinations, not node
+        fetches (the paper's Example 1 accounting)."""
+        stats = AccessStats()
+        stats.record_edge_fetch([1, 2])
+        assert stats.edges_checked == 2
+        assert stats.nodes_fetched == 0
+        assert stats.index_fetches == 1
+        assert stats.distinct_nodes == 2
+
+    def test_total(self):
+        stats = AccessStats()
+        stats.record_fetch([1])
+        stats.record_edge_checks(3)
+        assert stats.total_accessed == 4
+
+    def test_merge(self):
+        a = AccessStats()
+        a.record_fetch([1, 2])
+        b = AccessStats()
+        b.record_fetch([2, 3])
+        b.record_edge_checks(1)
+        a.merge(b)
+        assert a.nodes_fetched == 4
+        assert a.distinct_nodes == 3
+        assert a.edges_checked == 1
+        assert a.index_fetches == 2
+
+    def test_as_dict_keys(self):
+        stats = AccessStats()
+        stats.record_fetch([1])
+        payload = stats.as_dict()
+        assert payload["nodes_fetched"] == 1
+        assert payload["total_accessed"] == 1
+        assert set(payload) == {"nodes_fetched", "edges_checked",
+                                "index_fetches", "distinct_nodes",
+                                "total_accessed"}

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import io as graph_io
+
+
+@pytest.fixture()
+def artifacts(tmp_path, imdb_small):
+    """Pattern/schema/graph files on disk for CLI consumption."""
+    graph, schema = imdb_small
+    pattern_path = tmp_path / "q.pat"
+    pattern_path.write_text(
+        "m: movie; y: year; m -> y\n", encoding="utf-8")
+    schema_path = tmp_path / "a.json"
+    schema.save(str(schema_path))
+    graph_path = tmp_path / "g.tsv"
+    graph_io.write_tsv(graph, str(graph_path))
+    return pattern_path, schema_path, graph_path
+
+
+class TestCheck:
+    def test_bounded_exit_zero(self, artifacts, capsys):
+        pattern, schema, _ = artifacts
+        code = main(["check", "--pattern", str(pattern),
+                     "--schema", str(schema)])
+        assert code == 0
+        assert "effectively bounded" in capsys.readouterr().out
+
+    def test_unbounded_exit_one(self, artifacts, tmp_path, capsys):
+        _, schema, _ = artifacts
+        lonely = tmp_path / "lonely.pat"
+        lonely.write_text("p: unknown_label\n", encoding="utf-8")
+        code = main(["check", "--pattern", str(lonely),
+                     "--schema", str(schema)])
+        assert code == 1
+
+    def test_simulation_semantics(self, artifacts, capsys):
+        pattern, schema, _ = artifacts
+        code = main(["check", "--pattern", str(pattern),
+                     "--schema", str(schema), "--semantics", "simulation"])
+        assert code in (0, 1)
+        assert "bounded" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_printed(self, artifacts, capsys):
+        pattern, schema, _ = artifacts
+        assert main(["plan", "--pattern", str(pattern),
+                     "--schema", str(schema)]) == 0
+        out = capsys.readouterr().out
+        assert "ft(" in out and "worst case" in out
+
+    def test_unbounded_plan_fails(self, artifacts, tmp_path, capsys):
+        _, schema, _ = artifacts
+        lonely = tmp_path / "lonely.pat"
+        lonely.write_text("p: unknown_label\n", encoding="utf-8")
+        assert main(["plan", "--pattern", str(lonely),
+                     "--schema", str(schema)]) == 1
+
+
+class TestRun:
+    def test_run_subgraph(self, artifacts, capsys):
+        pattern, schema, graph = artifacts
+        code = main(["run", "--graph", str(graph), "--pattern", str(pattern),
+                     "--schema", str(schema), "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+        assert "accessed:" in out
+
+    def test_run_simulation(self, artifacts, capsys):
+        pattern, schema, graph = artifacts
+        code = main(["run", "--graph", str(graph), "--pattern", str(pattern),
+                     "--schema", str(schema), "--semantics", "simulation"])
+        # The actor->country pattern may or may not be simulation-bounded;
+        # either a clean run or a clean refusal is acceptable.
+        assert code in (0, 1)
+
+
+class TestGenerate:
+    def test_generate_round_trips(self, tmp_path, capsys):
+        out_prefix = tmp_path / "tiny"
+        code = main(["generate", "--dataset", "imdb", "--scale", "0.005",
+                     "--seed", "3", "--out", str(out_prefix)])
+        assert code == 0
+        graph = graph_io.read_tsv(f"{out_prefix}.graph.tsv")
+        assert graph.num_nodes > 0
+        from repro import AccessSchema
+        schema = AccessSchema.load(f"{out_prefix}.schema.json")
+        assert len(schema) > 0
+
+    def test_unknown_dataset(self, tmp_path):
+        assert main(["generate", "--dataset", "nope",
+                     "--out", str(tmp_path / "x")]) == 2
+
+
+class TestProfile:
+    def test_profile_graph(self, artifacts, capsys):
+        _, _, graph = artifacts
+        assert main(["profile", "--graph", str(graph)]) == 0
+        out = capsys.readouterr().out
+        assert "label histogram" in out
+        assert "movie" in out
+
+
+class TestBench:
+    def test_exp3_via_cli(self, capsys):
+        code = main(["bench", "--experiment", "exp3", "--scale", "0.01"])
+        assert code == 0
+        assert "ebchk_max_ms" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bench", "--experiment", "nope"]) == 2
+
+    def test_fig6_via_cli(self, capsys):
+        code = main(["bench", "--experiment", "fig6-instance",
+                     "--dataset", "imdb", "--scale", "0.01"])
+        assert code == 0
+        assert "min_m" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

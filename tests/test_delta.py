@@ -1,0 +1,75 @@
+"""Tests for GraphDelta application and dirty-set reporting."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, GraphDelta
+
+
+@pytest.fixture()
+def base():
+    g = Graph()
+    a = g.add_node("a")
+    b = g.add_node("b")
+    c = g.add_node("c")
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    return g
+
+
+class TestApply:
+    def test_add_edge_dirty_endpoints(self, base):
+        delta = GraphDelta().add_edge(0, 2)
+        dirty = delta.apply(base)
+        assert base.has_edge(0, 2)
+        assert dirty == {0, 2}
+
+    def test_remove_edge(self, base):
+        delta = GraphDelta().remove_edge(0, 1)
+        dirty = delta.apply(base)
+        assert not base.has_edge(0, 1)
+        assert dirty == {0, 1}
+
+    def test_add_node_then_edge(self, base):
+        delta = GraphDelta().add_node(10, "d", value=5).add_edge(10, 0)
+        dirty = delta.apply(base)
+        assert base.label_of(10) == "d"
+        assert base.value_of(10) == 5
+        assert base.has_edge(10, 0)
+        assert dirty == {10, 0}
+
+    def test_remove_node_reports_neighbours(self, base):
+        delta = GraphDelta().remove_node(1)
+        dirty = delta.apply(base)
+        assert not base.has_node(1)
+        assert dirty == {0, 2}
+
+    def test_removed_node_not_in_dirty_even_if_touched_before(self, base):
+        delta = GraphDelta().add_edge(0, 2).remove_node(0)
+        dirty = delta.apply(base)
+        assert 0 not in dirty
+        assert 2 in dirty
+
+    def test_insert_without_label_rejected(self, base):
+        from repro.graph.delta import NodeChange
+        delta = GraphDelta()
+        delta.changes.append(NodeChange(True, 42))
+        with pytest.raises(GraphError):
+            delta.apply(base)
+
+    def test_len_and_iter(self):
+        delta = GraphDelta().add_edge(0, 1).remove_edge(1, 2)
+        assert len(delta) == 2
+        assert len(list(delta)) == 2
+
+    def test_ordered_application(self):
+        g = Graph()
+        g.add_node("a", node_id=0)
+        delta = (GraphDelta()
+                 .add_node(1, "b")
+                 .add_edge(0, 1)
+                 .remove_edge(0, 1)
+                 .remove_node(1))
+        dirty = delta.apply(g)
+        assert not g.has_node(1)
+        assert dirty == {0}

@@ -1,0 +1,25 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.constraints.index",
+    "repro.constraints.schema",
+    "repro.core.ebchk",
+    "repro.core.incremental",
+    "repro.graph.frozen",
+    "repro.graph.graph",
+    "repro.pattern.pattern",
+    "repro.pattern.predicates",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{result.failed} doctest failures in {name}"
+    assert result.attempted > 0, f"no doctests found in {name}"

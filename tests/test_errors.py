@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GraphError,
+        errors.PatternError,
+        errors.PredicateError,
+        errors.DslError,
+        errors.SchemaError,
+        errors.ConstraintViolation,
+        errors.NotEffectivelyBounded,
+        errors.PlanError,
+        errors.UnverifiableEdge,
+        errors.DiscoveryError,
+        errors.MatchTimeout,
+        errors.BenchmarkError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_predicate_error_is_pattern_error(self):
+        assert issubclass(errors.PredicateError, errors.PatternError)
+        assert issubclass(errors.DslError, errors.PatternError)
+
+    def test_unverifiable_edge_is_plan_error(self):
+        assert issubclass(errors.UnverifiableEdge, errors.PlanError)
+
+
+class TestPayloads:
+    def test_constraint_violation_payload(self):
+        from repro import AccessConstraint
+        constraint = AccessConstraint(("a",), "b", 2)
+        exc = errors.ConstraintViolation(constraint, (1,), 5)
+        assert exc.constraint is constraint
+        assert exc.witness == (1,)
+        assert exc.count == 5
+        assert "violated" in str(exc)
+
+    def test_not_effectively_bounded_payload(self):
+        exc = errors.NotEffectivelyBounded("msg", uncovered_nodes=[1],
+                                           uncovered_edges=[(1, 2)])
+        assert exc.uncovered_nodes == (1,)
+        assert exc.uncovered_edges == ((1, 2),)
+
+    def test_match_timeout_payload(self):
+        exc = errors.MatchTimeout("slow", elapsed=1.5, partial=3)
+        assert exc.elapsed == 1.5
+        assert exc.partial == 3
+
+    def test_single_except_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DslError("boom")

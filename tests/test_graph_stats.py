@@ -1,0 +1,60 @@
+"""Tests for the graph profiling module."""
+
+from repro.constraints.discovery import discover_unit, neighbor_label_bounds
+from repro.graph.stats import (
+    DistributionSummary,
+    degree_summary,
+    label_histogram,
+    label_pair_degrees,
+    profile,
+)
+
+
+class TestDistributionSummary:
+    def test_empty(self):
+        summary = DistributionSummary.from_values([])
+        assert summary.count == 0
+        assert summary.maximum == 0
+
+    def test_single(self):
+        summary = DistributionSummary.from_values([7])
+        assert (summary.minimum, summary.maximum, summary.p50) == (7, 7, 7)
+
+    def test_percentiles_ordered(self):
+        summary = DistributionSummary.from_values(range(100))
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+        assert summary.mean == 49.5
+
+
+class TestHistograms:
+    def test_label_histogram(self, tiny_graph):
+        histogram = label_histogram(tiny_graph)
+        assert histogram["movie"] == 2
+        assert list(histogram)[0] == "movie"  # descending order
+
+    def test_degree_summary(self, tiny_graph):
+        summary = degree_summary(tiny_graph)
+        assert summary["total"].maximum == 2  # movie 0, year, actor
+        assert summary["out"].maximum == 2    # movie 0
+        assert summary["out"].count == tiny_graph.num_nodes
+
+    def test_pair_degrees_match_discovery(self, tiny_graph):
+        """The per-pair maximum equals the discovered unit bound."""
+        pairs = label_pair_degrees(tiny_graph)
+        bounds = neighbor_label_bounds(tiny_graph)
+        for pair, summary in pairs.items():
+            assert summary.maximum == bounds[pair]
+        discovered = {(c.source[0], c.target): c.bound
+                      for c in discover_unit(tiny_graph)}
+        for (la, lb), bound in discovered.items():
+            assert pairs[(la, lb)].maximum == bound
+
+    def test_pair_degrees_cap(self, tiny_graph):
+        assert len(label_pair_degrees(tiny_graph, max_pairs=2)) == 2
+
+    def test_profile_renders(self, imdb_small):
+        graph, _ = imdb_small
+        text = profile(graph)
+        assert "label histogram" in text
+        assert "movie" in text
+        assert "type (2) candidates" in text

@@ -1,0 +1,149 @@
+"""Tests for incremental bounded evaluation (Section VIII future work)."""
+
+import pytest
+
+from repro import AccessConstraint, AccessSchema, Graph, GraphDelta
+from repro.core.incremental import IncrementalEvaluator
+from repro.errors import NotEffectivelyBounded, PatternError, ReproError
+from repro.matching.simulation import relation_pairs, simulate
+from repro.matching.vf2 import find_matches
+from repro.pattern import parse_pattern
+
+
+@pytest.fixture()
+def setup():
+    g = Graph()
+    y1 = g.add_node("year", value=2000)
+    y2 = g.add_node("year", value=2001)
+    m1 = g.add_node("movie")
+    a1 = g.add_node("actor")
+    g.add_edge(m1, y1)
+    g.add_edge(m1, a1)
+    schema = AccessSchema([
+        AccessConstraint((), "year", 10),
+        AccessConstraint(("year",), "movie", 5),
+        AccessConstraint(("movie",), "actor", 5),
+    ])
+    evaluator = IncrementalEvaluator(g, schema)
+    return evaluator, (y1, y2, m1, a1)
+
+
+def as_set(matches):
+    return {frozenset(m.items()) for m in matches}
+
+
+class TestRegistration:
+    def test_initial_answer(self, setup):
+        evaluator, _ = setup
+        q = parse_pattern("m: movie; y: year; m -> y", name="q")
+        answer = evaluator.register("q", q)
+        assert as_set(answer) == as_set(find_matches(q, evaluator.graph))
+
+    def test_duplicate_name_rejected(self, setup):
+        evaluator, _ = setup
+        q = parse_pattern("m: movie; y: year; m -> y")
+        evaluator.register("q", q)
+        with pytest.raises(PatternError):
+            evaluator.register("q", q)
+
+    def test_unbounded_query_rejected(self, setup):
+        evaluator, _ = setup
+        lonely = parse_pattern("a: actor")
+        with pytest.raises(NotEffectivelyBounded):
+            evaluator.register("lonely", lonely)
+
+    def test_unknown_query(self, setup):
+        evaluator, _ = setup
+        with pytest.raises(PatternError):
+            evaluator.answer("ghost")
+        with pytest.raises(PatternError):
+            evaluator.unregister("ghost")
+
+
+class TestUpdates:
+    def test_insertion_refreshes_answer(self, setup):
+        evaluator, (y1, y2, m1, a1) = setup
+        q = parse_pattern("m: movie; y: year; m -> y", name="q")
+        evaluator.register("q", q)
+        delta = GraphDelta().add_node(50, "movie").add_edge(50, y2)
+        evaluator.apply(delta)
+        assert as_set(evaluator.answer("q")) == \
+            as_set(find_matches(q, evaluator.graph))
+        assert len(evaluator.answer("q")) == 2
+
+    def test_deletion_refreshes_answer(self, setup):
+        evaluator, (y1, y2, m1, a1) = setup
+        q = parse_pattern("m: movie; y: year; m -> y", name="q")
+        evaluator.register("q", q)
+        evaluator.apply(GraphDelta().remove_edge(m1, y1))
+        assert evaluator.answer("q") == []
+
+    def test_irrelevant_update_skips_evaluation(self, setup):
+        evaluator, (y1, y2, m1, a1) = setup
+        q = parse_pattern("m: movie; y: year; m -> y", name="q")
+        evaluator.register("q", q)
+        assert evaluator.evaluations("q") == 1
+        # A rare, unrelated label: no re-evaluation.
+        delta = GraphDelta().add_node(60, "unrelated")
+        evaluator.apply(delta)
+        assert evaluator.evaluations("q") == 1
+        # A relevant label: re-evaluated.
+        evaluator.apply(GraphDelta().add_node(61, "movie").add_edge(61, y2))
+        assert evaluator.evaluations("q") == 2
+
+    def test_violating_update_raises(self, setup):
+        evaluator, (y1, y2, m1, a1) = setup
+        delta = GraphDelta()
+        for i in range(6):
+            delta.add_node(70 + i, "movie")
+            delta.add_edge(70 + i, y1)
+        with pytest.raises(ReproError, match="violates"):
+            evaluator.apply(delta)
+
+    def test_simulation_query(self, setup):
+        evaluator, (y1, y2, m1, a1) = setup
+        q = parse_pattern("m: movie; y: year; m -> y", name="qs")
+        evaluator.register("qs", q, semantics="simulation")
+        evaluator.apply(GraphDelta().add_node(80, "movie").add_edge(80, y2))
+        assert relation_pairs(evaluator.answer("qs")) == \
+            relation_pairs(simulate(q, evaluator.graph))
+
+    def test_long_update_stream_stays_consistent(self, setup):
+        import random
+        evaluator, (y1, y2, m1, a1) = setup
+        q = parse_pattern("m: movie; y: year; a: actor; m -> y; m -> a",
+                          name="q")
+        evaluator.register("q", q)
+        rng = random.Random(5)
+        next_id = 100
+        movies = [m1]
+        for _ in range(20):
+            delta = GraphDelta()
+            if rng.random() < 0.6:
+                delta.add_node(next_id, "movie")
+                delta.add_edge(next_id, rng.choice([y1, y2]))
+                if rng.random() < 0.7:
+                    delta.add_edge(next_id, a1)
+                movies.append(next_id)
+                next_id += 1
+            elif len(movies) > 1:
+                victim = movies.pop(rng.randrange(len(movies)))
+                delta.remove_node(victim)
+            if not len(delta):
+                continue
+            try:
+                evaluator.apply(delta)
+            except ReproError:
+                continue  # violating batch: graph unchanged semantics-wise
+            assert as_set(evaluator.answer("q")) == \
+                as_set(find_matches(q, evaluator.graph))
+
+
+class TestBoundedness:
+    def test_update_work_is_local(self, setup):
+        """Each update's index repair only touches the dirty region."""
+        evaluator, (y1, y2, m1, a1) = setup
+        report = evaluator.apply(
+            GraphDelta().add_node(90, "movie").add_edge(90, y2))
+        refreshed = {node for _, node in report.refreshed_targets}
+        assert refreshed <= {90, y2}

@@ -1,0 +1,93 @@
+"""Round-trip tests for graph serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph
+from repro.graph.io import (
+    from_dict,
+    read_json,
+    read_tsv,
+    to_dict,
+    write_json,
+    write_tsv,
+)
+
+
+def graphs_equal(a, b) -> bool:
+    if set(a.nodes()) != set(b.nodes()):
+        return False
+    for v in a.nodes():
+        if a.label_of(v) != b.label_of(v) or a.value_of(v) != b.value_of(v):
+            return False
+    return set(a.edges()) == set(b.edges())
+
+
+class TestTsv:
+    def test_round_trip_buffer(self, tiny_graph):
+        buffer = io.StringIO()
+        write_tsv(tiny_graph, buffer)
+        buffer.seek(0)
+        assert graphs_equal(read_tsv(buffer), tiny_graph)
+
+    def test_round_trip_file(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_tsv(tiny_graph, str(path))
+        assert graphs_equal(read_tsv(str(path)), tiny_graph)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\nN\t0\ta\nN\t1\tb\nE\t0\t1\n"
+        g = read_tsv(io.StringIO(text))
+        assert g.num_nodes == 2 and g.has_edge(0, 1)
+
+    def test_value_json_encoded(self):
+        g = Graph()
+        g.add_node("x", value={"k": [1, 2]})
+        buffer = io.StringIO()
+        write_tsv(g, buffer)
+        buffer.seek(0)
+        assert read_tsv(buffer).value_of(0) == {"k": [1, 2]}
+
+    def test_malformed_node_row(self):
+        with pytest.raises(GraphError, match="line 1"):
+            read_tsv(io.StringIO("N\t0\n"))
+
+    def test_malformed_edge_row(self):
+        with pytest.raises(GraphError, match="line 2"):
+            read_tsv(io.StringIO("N\t0\ta\nE\t0\n"))
+
+    def test_unknown_row_kind(self):
+        with pytest.raises(GraphError, match="unknown row kind"):
+            read_tsv(io.StringIO("X\t0\t1\n"))
+
+
+class TestJson:
+    def test_dict_round_trip(self, tiny_graph):
+        assert graphs_equal(from_dict(to_dict(tiny_graph)), tiny_graph)
+
+    def test_file_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.json"
+        write_json(tiny_graph, str(path))
+        assert graphs_equal(read_json(str(path)), tiny_graph)
+
+    def test_buffer_round_trip(self, tiny_graph):
+        buffer = io.StringIO()
+        write_json(tiny_graph, buffer)
+        buffer.seek(0)
+        assert graphs_equal(read_json(buffer), tiny_graph)
+
+    def test_values_omitted_when_none(self):
+        g = Graph()
+        g.add_node("a")
+        payload = to_dict(g)
+        assert "value" not in payload["nodes"][0]
+
+    def test_malformed_document(self):
+        with pytest.raises(GraphError):
+            from_dict({"nodes": [{"id": 0}]})  # missing label
+
+    def test_malformed_edges(self):
+        with pytest.raises(GraphError):
+            from_dict({"nodes": [], "edges": None})

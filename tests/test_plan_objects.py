@@ -1,0 +1,106 @@
+"""Tests for the plan value objects (FetchOp / EdgeCheck / QueryPlan)."""
+
+import math
+
+import pytest
+
+from repro import AccessConstraint, Pattern, qplan
+from repro.core.plan import (
+    EDGE_VIA_INDEX,
+    EDGE_VIA_PROBE,
+    EdgeCheck,
+    FetchOp,
+    QueryPlan,
+)
+from repro.pattern.predicates import TRUE, Predicate
+
+
+@pytest.fixture()
+def sample_plan(q0, a0_schema):
+    return qplan(q0, a0_schema)
+
+
+class TestFetchOp:
+    def test_initial_detection(self, sample_plan):
+        initials = [op for op in sample_plan.ops if op.is_initial]
+        assert len(initials) == 3  # award, year, country
+        assert all(op.source_nodes == () for op in initials)
+
+    def test_describe_initial(self, q0, sample_plan):
+        op = sample_plan.ops[0]
+        text = op.describe(q0)
+        assert "ft(" in text and "nil" in text
+
+    def test_describe_general(self, q0, sample_plan):
+        general = next(op for op in sample_plan.ops if not op.is_initial)
+        text = general.describe(q0)
+        assert "nil" not in text
+
+    def test_frozen(self, sample_plan):
+        with pytest.raises(AttributeError):
+            sample_plan.ops[0].fetch_bound = 1
+
+
+class TestEdgeCheck:
+    def test_describe_index(self):
+        check = EdgeCheck(edge=(0, 1), mode=EDGE_VIA_INDEX, fetch_target=1,
+                          source_nodes=(0,),
+                          constraint=AccessConstraint(("a",), "b", 2),
+                          cost_bound=4)
+        assert "check(" in check.describe()
+
+    def test_describe_probe(self):
+        check = EdgeCheck(edge=(0, 1), mode=EDGE_VIA_PROBE, cost_bound=9)
+        assert "probe(" in check.describe()
+
+    def test_default_cost_is_infinite(self):
+        assert EdgeCheck(edge=(0, 1), mode=EDGE_VIA_PROBE).cost_bound == math.inf
+
+
+class TestQueryPlan:
+    def test_ops_for_multiple(self, sample_plan):
+        for node in sample_plan.pattern.nodes():
+            ops = sample_plan.ops_for(node)
+            assert ops
+            assert sample_plan.final_op_for(node) is ops[-1]
+
+    def test_worst_case_totals_consistent(self, sample_plan):
+        assert sample_plan.worst_case_total_accessed == \
+            sample_plan.worst_case_nodes_fetched + \
+            sample_plan.worst_case_edges_checked
+
+    def test_repr(self, sample_plan):
+        assert "QueryPlan" in repr(sample_plan)
+        assert "ops=6" in repr(sample_plan)
+
+    def test_describe_contains_every_op_and_check(self, sample_plan):
+        text = sample_plan.describe()
+        assert text.count("ft(") == len(sample_plan.ops)
+        assert text.count("check(") + text.count("probe(") == \
+            len(sample_plan.edge_checks)
+
+    def test_empty_plan_sums(self):
+        plan = QueryPlan(pattern=Pattern(), schema=None, semantics="subgraph")
+        assert plan.worst_case_nodes_fetched == 0
+        assert plan.worst_case_edges_checked == 0
+        assert plan.worst_case_gq_nodes == 0
+
+    def test_infinite_bounds_render(self):
+        pattern = Pattern()
+        node = pattern.add_node("x")
+        plan = QueryPlan(pattern=pattern, schema=None, semantics="subgraph")
+        plan.ops.append(FetchOp(target=node, source_nodes=(),
+                                constraint=AccessConstraint((), "x", 1),
+                                predicate=TRUE, fetch_bound=math.inf,
+                                size_bound=math.inf))
+        assert "inf" in plan.describe()
+
+    def test_fractional_bounds_render(self):
+        pattern = Pattern()
+        node = pattern.add_node("x")
+        plan = QueryPlan(pattern=pattern, schema=None, semantics="subgraph")
+        plan.ops.append(FetchOp(target=node, source_nodes=(),
+                                constraint=AccessConstraint((), "x", 1),
+                                predicate=Predicate.of(("=", 1)),
+                                fetch_bound=2.5, size_bound=1))
+        assert "2.5" in plan.describe()

@@ -1,0 +1,156 @@
+"""Unit tests for predicate atoms and conjunctions."""
+
+import math
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.pattern.predicates import TRUE, Atom, Predicate
+
+
+class TestAtom:
+    @pytest.mark.parametrize("op,constant,value,expected", [
+        ("=", 5, 5, True),
+        ("=", 5, 6, False),
+        ("!=", 5, 6, True),
+        ("!=", 5, 5, False),
+        ("<", 5, 4, True),
+        ("<", 5, 5, False),
+        ("<=", 5, 5, True),
+        (">", 5, 6, True),
+        (">", 5, 5, False),
+        (">=", 5, 5, True),
+        ("=", "uk", "uk", True),
+        ("=", "uk", "us", False),
+    ])
+    def test_evaluate(self, op, constant, value, expected):
+        assert Atom(op, constant).evaluate(value) is expected
+
+    def test_none_value_fails(self):
+        assert not Atom("=", 5).evaluate(None)
+        assert not Atom(">=", 5).evaluate(None)
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Atom("<", 5).evaluate("text")
+
+    def test_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            Atom("~", 5)
+
+    def test_str(self):
+        assert str(Atom(">=", 2011)) == ">=2011"
+        assert str(Atom("=", "uk")) == '="uk"'
+
+
+class TestPredicate:
+    def test_true_is_trivial(self):
+        assert TRUE.is_trivial
+        assert TRUE.evaluate(None)
+        assert TRUE.evaluate("anything")
+
+    def test_conjunction(self):
+        p = Predicate.of((">=", 2011), ("<=", 2013))
+        assert p.evaluate(2012)
+        assert not p.evaluate(2010)
+        assert not p.evaluate(2014)
+
+    def test_and_(self):
+        p = Predicate.of((">=", 10)).and_(Predicate.of(("<", 20)))
+        assert p.evaluate(15)
+        assert not p.evaluate(25)
+
+    def test_filter(self):
+        p = Predicate.of((">", 2))
+        assert p.filter([1, 2, 3, 4]) == [3, 4]
+
+    def test_str(self):
+        assert str(TRUE) == "true"
+        assert str(Predicate.of((">=", 2011), ("<=", 2013))) == ">=2011 & <=2013"
+
+
+class TestParse:
+    def test_parse_empty_is_true(self):
+        assert Predicate.parse("") is TRUE
+
+    def test_parse_conjunction(self):
+        p = Predicate.parse(">=2011 & <=2013")
+        assert p.evaluate(2011) and p.evaluate(2013)
+        assert not p.evaluate(2014)
+
+    def test_parse_string_constant(self):
+        p = Predicate.parse('="uk"')
+        assert p.evaluate("uk")
+        assert not p.evaluate("us")
+
+    def test_parse_float(self):
+        assert Predicate.parse(">1.5").evaluate(2.0)
+
+    def test_parse_le_before_lt(self):
+        # "<=" must not be parsed as "<" followed by "=5".
+        assert Predicate.parse("<=5").evaluate(5)
+
+    def test_parse_garbage(self):
+        with pytest.raises(PredicateError):
+            Predicate.parse("about 5")
+
+    def test_parse_bad_constant(self):
+        with pytest.raises(PredicateError):
+            Predicate.parse(">=abc")
+
+    def test_parse_unterminated_string(self):
+        with pytest.raises(PredicateError):
+            Predicate.parse('="uk')
+
+
+class TestRangeHints:
+    """max_distinct_values drives QPlan's Example 1 arithmetic."""
+
+    def test_closed_integer_range(self):
+        assert Predicate.of((">=", 2011), ("<=", 2013)).max_distinct_values() == 3
+
+    def test_strict_bounds(self):
+        assert Predicate.of((">", 2010), ("<", 2014)).max_distinct_values() == 3
+
+    def test_equality_is_one(self):
+        assert Predicate.of(("=", 7)).max_distinct_values() == 1
+        assert Predicate.of(("=", "uk")).max_distinct_values() == 1
+
+    def test_half_open_is_unbounded(self):
+        assert Predicate.of((">=", 2011)).max_distinct_values() == math.inf
+        assert Predicate.of(("<=", 2013)).max_distinct_values() == math.inf
+
+    def test_trivial_is_unbounded(self):
+        assert TRUE.max_distinct_values() == math.inf
+
+    def test_string_range_unbounded(self):
+        assert Predicate.of((">=", "a"), ("<=", "b")).max_distinct_values() == math.inf
+
+    def test_empty_range_is_zero(self):
+        assert Predicate.of((">=", 10), ("<=", 5)).max_distinct_values() == 0
+
+    def test_not_equal_ignored(self):
+        p = Predicate.of((">=", 1), ("<=", 3), ("!=", 2))
+        assert p.max_distinct_values() == 3
+
+    def test_float_bounds_non_integral_unbounded(self):
+        assert Predicate.of((">=", 1.5), ("<=", 3.0)).max_distinct_values() == math.inf
+
+    def test_integral_float_bounds_ok(self):
+        assert Predicate.of((">=", 1.0), ("<=", 3.0)).max_distinct_values() == 3
+
+
+class TestSatisfiability:
+    def test_trivial_satisfiable(self):
+        assert TRUE.is_satisfiable()
+
+    def test_contradicting_equalities(self):
+        assert not Predicate.of(("=", 1), ("=", 2)).is_satisfiable()
+
+    def test_equality_outside_range(self):
+        assert not Predicate.of(("=", 10), ("<", 5)).is_satisfiable()
+
+    def test_empty_numeric_range(self):
+        assert not Predicate.of((">", 5), ("<", 5)).is_satisfiable()
+
+    def test_consistent(self):
+        assert Predicate.of((">=", 1), ("<=", 1)).is_satisfiable()

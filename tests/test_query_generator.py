@@ -1,0 +1,94 @@
+"""Tests for the random pattern-query generator (the Section VII workload)."""
+
+import random
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.generator import PatternGenerator
+
+
+@pytest.fixture(scope="module")
+def imdb_generator():
+    from repro.graph.generators import imdb_like
+    graph, _ = imdb_like(scale=0.02, seed=1)
+    return PatternGenerator.from_graph(graph, rng=random.Random(42))
+
+
+class TestGeneration:
+    def test_default_ranges(self, imdb_generator):
+        for _ in range(20):
+            q = imdb_generator.generate()
+            assert 1 <= q.num_nodes <= 7
+            assert q.num_edges >= 1
+
+    def test_explicit_knobs(self, imdb_generator):
+        q = imdb_generator.generate(num_nodes=5, num_edges=6, num_predicates=3)
+        assert q.num_nodes <= 5
+        # Edge count can fall short when label adjacency forbids extras,
+        # but never exceeds the request.
+        assert q.num_edges <= 6
+
+    def test_connected(self, imdb_generator):
+        for _ in range(20):
+            assert imdb_generator.generate().is_connected()
+
+    def test_labels_exist_in_data(self, imdb_generator):
+        valid = {la for la, _ in imdb_generator.label_edges}
+        valid |= {lb for _, lb in imdb_generator.label_edges}
+        q = imdb_generator.generate(num_nodes=6)
+        for u in q.nodes():
+            assert q.label_of(u) in valid
+
+    def test_edges_respect_label_adjacency(self, imdb_generator):
+        allowed = set(imdb_generator.label_edges)
+        for _ in range(10):
+            q = imdb_generator.generate()
+            for (a, b) in q.edges():
+                assert (q.label_of(a), q.label_of(b)) in allowed
+
+    def test_predicates_satisfiable(self, imdb_generator):
+        for _ in range(20):
+            q = imdb_generator.generate(num_predicates=5)
+            q.validate()  # raises if any predicate is unsatisfiable
+
+    def test_generate_many_names(self, imdb_generator):
+        queries = imdb_generator.generate_many(5)
+        assert [q.name for q in queries] == ["q0", "q1", "q2", "q3", "q4"]
+
+    def test_deterministic_with_seed(self):
+        from repro.graph.generators import imdb_like
+        graph, _ = imdb_like(scale=0.02, seed=1)
+        a = PatternGenerator.from_graph(graph, rng=random.Random(9)).generate_many(5)
+        b = PatternGenerator.from_graph(graph, rng=random.Random(9)).generate_many(5)
+        for qa, qb in zip(a, b):
+            assert sorted(qa.label_of(u) for u in qa.nodes()) == \
+                   sorted(qb.label_of(u) for u in qb.nodes())
+            assert list(qa.edges()) == list(qb.edges())
+
+    def test_single_node_allowed(self, imdb_generator):
+        q = imdb_generator.generate(num_nodes=1, num_edges=1, num_predicates=0)
+        assert q.num_nodes == 1
+
+    def test_zero_nodes_rejected(self, imdb_generator):
+        with pytest.raises(PatternError):
+            imdb_generator.generate(num_nodes=0)
+
+
+class TestConstruction:
+    def test_empty_label_edges_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGenerator([])
+
+    def test_from_graph_value_samples(self):
+        from repro.graph.generators import imdb_like
+        graph, _ = imdb_like(scale=0.02, seed=1)
+        gen = PatternGenerator.from_graph(graph)
+        assert "year" in gen.value_samples
+        assert all(isinstance(v, int) for v in gen.value_samples["year"])
+
+    def test_edge_scan_cap(self):
+        from repro.graph.generators import imdb_like
+        graph, _ = imdb_like(scale=0.02, seed=1)
+        gen = PatternGenerator.from_graph(graph, max_edge_scan=10)
+        assert len(gen.label_edges) <= 10

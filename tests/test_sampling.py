@@ -1,0 +1,64 @@
+"""Tests for subgraph sampling (scale-factor machinery)."""
+
+import pytest
+
+from repro import SchemaIndex
+from repro.errors import GraphError
+from repro.graph.sampling import induced_sample, scale_series
+
+
+class TestInducedSample:
+    def test_fraction_one_keeps_everything(self, tiny_graph):
+        sample = induced_sample(tiny_graph, 1.0)
+        assert set(sample.nodes()) == set(tiny_graph.nodes())
+        assert set(sample.edges()) == set(tiny_graph.edges())
+
+    def test_smaller_fraction_shrinks(self, imdb_small):
+        graph, _ = imdb_small
+        sample = induced_sample(graph, 0.3, seed=1)
+        assert sample.num_nodes < graph.num_nodes
+        assert sample.num_nodes > 0
+
+    def test_sample_is_subgraph(self, imdb_small):
+        graph, _ = imdb_small
+        sample = induced_sample(graph, 0.5, seed=2)
+        for v in sample.nodes():
+            assert graph.has_node(v)
+            assert sample.label_of(v) == graph.label_of(v)
+        for (v, w) in sample.edges():
+            assert graph.has_edge(v, w)
+
+    def test_constraints_monotone_under_sampling(self, imdb_small):
+        """The load-bearing property: G |= A implies sample(G) |= A."""
+        graph, schema = imdb_small
+        for seed in (0, 1):
+            sample = induced_sample(graph, 0.4, seed=seed)
+            assert SchemaIndex(sample, schema).satisfied()
+
+    def test_keep_labels_retained(self, imdb_small):
+        graph, _ = imdb_small
+        sample = induced_sample(graph, 0.01, seed=3, keep_labels={"year"})
+        assert sample.label_count("year") == graph.label_count("year")
+
+    def test_deterministic(self, imdb_small):
+        graph, _ = imdb_small
+        a = induced_sample(graph, 0.5, seed=9)
+        b = induced_sample(graph, 0.5, seed=9)
+        assert set(a.nodes()) == set(b.nodes())
+
+    @pytest.mark.parametrize("fraction", [0, -0.5, 1.5])
+    def test_invalid_fraction(self, tiny_graph, fraction):
+        with pytest.raises(GraphError):
+            induced_sample(tiny_graph, fraction)
+
+
+class TestScaleSeries:
+    def test_series_monotone_in_size(self, imdb_small):
+        graph, _ = imdb_small
+        series = scale_series(graph, (0.25, 0.5, 1.0), seed=4)
+        sizes = [g.size for _, g in series]
+        assert sizes == sorted(sizes)
+
+    def test_fraction_one_reuses_object(self, tiny_graph):
+        series = scale_series(tiny_graph, (0.5, 1.0))
+        assert series[-1][1] is tiny_graph

@@ -1,0 +1,205 @@
+"""Tests for the VF2-style subgraph-isomorphism matcher."""
+
+import pytest
+
+from repro import Graph, Pattern, Predicate, count_matches, find_matches
+from repro.errors import MatchTimeout, PatternError
+from repro.matching.vf2 import iter_matches, match_exists
+
+
+@pytest.fixture()
+def triangle_graph():
+    """A directed triangle plus a pendant."""
+    g = Graph()
+    a = g.add_node("X")
+    b = g.add_node("X")
+    c = g.add_node("X")
+    d = g.add_node("Y")
+    g.add_edge(a, b)
+    g.add_edge(b, c)
+    g.add_edge(c, a)
+    g.add_edge(a, d)
+    return g
+
+
+def triangle_pattern():
+    p = Pattern()
+    x1 = p.add_node("X")
+    x2 = p.add_node("X")
+    x3 = p.add_node("X")
+    p.add_edge(x1, x2)
+    p.add_edge(x2, x3)
+    p.add_edge(x3, x1)
+    return p
+
+
+class TestBasics:
+    def test_triangle_has_three_rotations(self, triangle_graph):
+        matches = find_matches(triangle_pattern(), triangle_graph)
+        assert len(matches) == 3  # one per rotation (direction fixes chirality)
+
+    def test_matches_are_injective(self, triangle_graph):
+        for match in find_matches(triangle_pattern(), triangle_graph):
+            assert len(set(match.values())) == len(match)
+
+    def test_edges_preserved(self, triangle_graph):
+        p = triangle_pattern()
+        for match in find_matches(p, triangle_graph):
+            for (u, v) in p.edges():
+                assert triangle_graph.has_edge(match[u], match[v])
+
+    def test_label_mismatch_no_match(self, triangle_graph):
+        p = Pattern()
+        z = p.add_node("Z")
+        assert find_matches(p, triangle_graph) == []
+
+    def test_single_node_pattern(self, triangle_graph):
+        p = Pattern()
+        p.add_node("Y")
+        assert len(find_matches(p, triangle_graph)) == 1
+
+    def test_empty_pattern_rejected(self, triangle_graph):
+        with pytest.raises(PatternError):
+            find_matches(Pattern(), triangle_graph)
+
+    def test_non_induced_semantics(self):
+        """Extra data edges between matched nodes must not block a match."""
+        g = Graph()
+        a = g.add_node("A")
+        b = g.add_node("B")
+        g.add_edge(a, b)
+        g.add_edge(b, a)          # extra edge
+        p = Pattern()
+        pa = p.add_node("A")
+        pb = p.add_node("B")
+        p.add_edge(pa, pb)        # pattern only requires one direction
+        assert len(find_matches(p, g)) == 1
+
+    def test_direction_matters(self):
+        g = Graph()
+        a = g.add_node("A")
+        b = g.add_node("B")
+        g.add_edge(a, b)
+        p = Pattern()
+        pa = p.add_node("A")
+        pb = p.add_node("B")
+        p.add_edge(pb, pa)  # reversed
+        assert find_matches(p, g) == []
+
+    def test_predicates_filter(self):
+        g = Graph()
+        y1 = g.add_node("year", value=2010)
+        y2 = g.add_node("year", value=2012)
+        p = Pattern()
+        p.add_node("year", predicate=Predicate.of((">=", 2011)))
+        matches = find_matches(p, g)
+        assert [m[0] for m in matches] == [y2]
+
+    def test_disconnected_pattern(self):
+        g = Graph()
+        a = g.add_node("A")
+        b = g.add_node("B")
+        p = Pattern()
+        p.add_node("A")
+        p.add_node("B")
+        assert len(find_matches(p, g)) == 1
+
+    def test_same_label_nodes_distinct(self):
+        """Two pattern nodes with one data candidate cannot both map."""
+        g = Graph()
+        a = g.add_node("A")
+        b = g.add_node("A")
+        g.add_edge(a, b)
+        p = Pattern()
+        p1 = p.add_node("A")
+        p2 = p.add_node("A")
+        p3 = p.add_node("A")
+        p.add_edge(p1, p2)
+        p.add_edge(p2, p3)
+        assert find_matches(p, g) == []
+
+    def test_self_loop(self):
+        g = Graph()
+        a = g.add_node("A")
+        g.add_edge(a, a)
+        b = g.add_node("A")
+        p = Pattern()
+        pa = p.add_node("A")
+        p.add_edge(pa, pa)
+        matches = find_matches(p, g)
+        assert [m[pa] for m in matches] == [a]
+
+
+class TestControls:
+    def test_limit(self, triangle_graph):
+        assert len(find_matches(triangle_pattern(), triangle_graph, limit=2)) == 2
+
+    def test_match_exists(self, triangle_graph):
+        assert match_exists(triangle_pattern(), triangle_graph)
+        p = Pattern()
+        p.add_node("Z")
+        assert not match_exists(p, triangle_graph)
+
+    def test_count(self, triangle_graph):
+        assert count_matches(triangle_pattern(), triangle_graph) == 3
+
+    def test_lazy_iteration(self, triangle_graph):
+        iterator = iter_matches(triangle_pattern(), triangle_graph)
+        first = next(iterator)
+        assert isinstance(first, dict)
+
+    def test_candidate_restriction(self, triangle_graph):
+        p = Pattern()
+        x = p.add_node("X")
+        matches = find_matches(p, triangle_graph, candidates={x: {0, 1}})
+        assert {m[x] for m in matches} == {0, 1}
+
+    def test_candidate_restriction_checks_labels(self, triangle_graph):
+        p = Pattern()
+        x = p.add_node("X")
+        # Node 3 has label Y: silently filtered even if offered.
+        matches = find_matches(p, triangle_graph, candidates={x: {0, 3}})
+        assert {m[x] for m in matches} == {0}
+
+    def test_timeout_raises(self):
+        """A dense same-label graph blows up combinatorially."""
+        g = Graph()
+        nodes = [g.add_node("N") for _ in range(40)]
+        for i in nodes:
+            for j in nodes:
+                if i != j:
+                    g.add_edge(i, j)
+        p = Pattern()
+        ps = [p.add_node("N") for _ in range(7)]
+        for i in range(6):
+            p.add_edge(ps[i], ps[i + 1])
+        with pytest.raises(MatchTimeout):
+            find_matches(p, g, timeout=0.05)
+
+
+class TestAgainstBruteForce:
+    def test_matches_equal_brute_force(self):
+        """Cross-check VF2 against naive enumeration on random graphs."""
+        import random
+        from itertools import permutations
+
+        from repro.graph.generators import random_labeled_graph
+        rng = random.Random(17)
+        for trial in range(5):
+            g = random_labeled_graph(10, 2, 18, seed=trial, value_range=None)
+            p = Pattern()
+            n1 = p.add_node(f"L{rng.randrange(2)}")
+            n2 = p.add_node(f"L{rng.randrange(2)}")
+            n3 = p.add_node(f"L{rng.randrange(2)}")
+            p.add_edge(n1, n2)
+            p.add_edge(n2, n3)
+
+            expected = set()
+            for combo in permutations(g.nodes(), 3):
+                mapping = dict(zip((n1, n2, n3), combo))
+                if all(g.label_of(mapping[u]) == p.label_of(u) for u in mapping) \
+                        and all(g.has_edge(mapping[a], mapping[b])
+                                for a, b in p.edges()):
+                    expected.add(frozenset(mapping.items()))
+            actual = {frozenset(m.items()) for m in find_matches(p, g)}
+            assert actual == expected
