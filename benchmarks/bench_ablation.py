@@ -9,11 +9,11 @@
 import pytest
 
 from benchmarks.conftest import emit
-from repro import AccessSchema, SchemaIndex, ebchk, qplan
+from repro import ebchk, qplan
 from repro.accounting import AccessStats
-from repro.bench import get_dataset, get_workload, render_table
+from repro.bench import get_dataset, get_engine, get_workload, render_table
 from repro.core.covers import compute_covers
-from repro.core.executor import MODE_PLAN, MODE_PROBE, execute_plan
+from repro.core.executor import MODE_PLAN, MODE_PROBE
 
 
 def _bounded_pool(schema, scale, count=6):
@@ -65,19 +65,19 @@ def test_ablation_edge_strategies(benchmark, bench_scale):
     """Index-driven edge phase vs probe-everything: same answers; the
     access profile differs (documented deviation)."""
     from repro.matching import find_matches
-    graph, schema = get_dataset("imdb", bench_scale)
-    sx = SchemaIndex(graph, schema)
+    _, schema = get_dataset("imdb", bench_scale)
+    engine = get_engine("imdb", bench_scale)
     queries = _bounded_pool(schema, bench_scale, count=4)
 
     def run_both():
         rows = []
         for query in queries:
-            plan = qplan(query, schema)
+            prepared = engine.prepare(query)
             stats_plan, stats_probe = AccessStats(), AccessStats()
-            via_plan = execute_plan(plan, sx, stats=stats_plan,
-                                    edge_mode=MODE_PLAN)
-            via_probe = execute_plan(plan, sx, stats=stats_probe,
-                                     edge_mode=MODE_PROBE)
+            via_plan = prepared.execute(stats=stats_plan,
+                                        edge_mode=MODE_PLAN)
+            via_probe = prepared.execute(stats=stats_probe,
+                                         edge_mode=MODE_PROBE)
             same = ({frozenset(m.items()) for m in find_matches(
                         query, via_plan.gq, candidates=via_plan.candidates)}
                     == {frozenset(m.items()) for m in find_matches(

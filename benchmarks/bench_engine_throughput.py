@@ -1,0 +1,82 @@
+"""Engine throughput: cold vs prepared vs batched queries/sec.
+
+The number this repo's north star cares about: how fast can repeated
+pattern queries be served once the expensive parts (snapshot, index
+build, EBChk, QPlan) are amortized into a
+:class:`~repro.engine.engine.QueryEngine` session?
+
+The workload is 10 distinct effectively bounded IMDb patterns, each asked
+5 times (a 50-query workload). Results are emitted both as a text table
+and as one JSON line (prefixed ``ENGINE_THROUGHPUT_JSON``) and written to
+``.benchmarks/engine_throughput.json``, so future PRs have a perf
+trajectory to compare against.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src:. python benchmarks/bench_engine_throughput.py
+
+or through pytest-benchmark like the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import engine_throughput, render_table
+
+#: Workload shape: 10 distinct patterns x 5 repeats = 50 queries.
+DISTINCT = 10
+REPEATS = 5
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / ".benchmarks" \
+    / "engine_throughput.json"
+
+
+def run(scale: float) -> list[dict]:
+    rows = engine_throughput(dataset="imdb", scale=scale,
+                             distinct=DISTINCT, repeats=REPEATS)
+    payload = {"dataset": "imdb", "scale": scale, "distinct": DISTINCT,
+               "repeats": REPEATS, "rows": rows}
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                            encoding="utf-8")
+    print("ENGINE_THROUGHPUT_JSON " + json.dumps(payload))
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    """The throughput claims this PR makes, as assertions."""
+    by_mode = {row["mode"]: row for row in rows}
+    # >= 1 plan-cache hit per repeated pattern in the warm session.
+    assert by_mode["prepared"]["plan_cache_hits"] >= \
+        DISTINCT * (REPEATS - 1), "repeated patterns must hit the plan cache"
+    assert by_mode["batched"]["plan_cache_hits"] >= \
+        DISTINCT * (REPEATS - 1), "batched duplicates must hit the plan cache"
+    # Amortized serving is measurably faster than the cold per-query path.
+    assert by_mode["prepared"]["qps"] > 1.5 * by_mode["cold"]["qps"], \
+        "prepared path should beat cold per-query setup"
+    assert by_mode["batched"]["qps"] > 1.5 * by_mode["cold"]["qps"], \
+        "batched path should beat cold per-query setup"
+
+
+def test_engine_throughput(benchmark, bench_scale):
+    rows = benchmark.pedantic(run, args=(bench_scale,),
+                              rounds=1, iterations=1)
+    from benchmarks.conftest import emit
+    emit(render_table(rows, title=f"Engine throughput (imdb, "
+                                  f"scale={bench_scale}): queries/sec"))
+    check(rows)
+
+
+def main() -> None:
+    rows = run(scale=0.05)
+    print(render_table(rows, title="Engine throughput (imdb, scale=0.05): "
+                                   "queries/sec"))
+    check(rows)
+
+
+if __name__ == "__main__":
+    main()

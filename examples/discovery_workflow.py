@@ -8,15 +8,16 @@ starts from a *bare graph* — no schema — and walks the full pipeline:
 1. profile the graph (where would constraints come from?);
 2. discover a schema (type (1) + degree bounds + one aggregate shape);
 3. measure how much of a random workload the schema makes bounded;
-4. evaluate one bounded query and keep it fresh under updates with the
-   incremental evaluator.
+4. open a ``QueryEngine`` session, serve the workload's bounded queries
+   through it, and keep one fresh under updates with the incremental
+   evaluator.
 
 Run:  python examples/discovery_workflow.py
 """
 
 import random
 
-from repro import GraphDelta, SchemaIndex, bvf2, ebchk, qplan
+from repro import GraphDelta, QueryEngine, ebchk
 from repro.constraints.discovery import discover_schema
 from repro.core.incremental import IncrementalEvaluator
 from repro.graph.generators import imdb_like
@@ -46,8 +47,8 @@ def main() -> None:
     print(f"\ndiscovered schema: {len(schema)} constraints, e.g.:")
     for constraint in list(schema)[:6]:
         print(f"  {constraint}")
-    index = SchemaIndex(graph, schema)
-    assert index.satisfied(), "discovered bounds always hold"
+    engine = QueryEngine.open(graph, schema)
+    assert engine.schema_index.satisfied(), "discovered bounds always hold"
 
     # 3. How much of a random workload does it make bounded?
     generator = PatternGenerator.from_graph(graph, rng=random.Random(1),
@@ -57,13 +58,19 @@ def main() -> None:
     print(f"\nworkload: {len(bounded)}/{len(workload)} queries effectively "
           f"bounded under the discovered schema")
 
-    # 4. Evaluate one bounded query, then keep it fresh incrementally.
+    # 4. Serve the bounded queries through the session in one batch.
+    runs = engine.query_batch(bounded)
+    total = sum(len(run.answer) for run in runs)
+    print(f"served {len(runs)} bounded queries in one batch: {total} matches "
+          f"total, accessed {engine.stats.total_accessed} items, "
+          f"cache {engine.cache_info()}")
+
+    # 5. Evaluate the largest one, then keep it fresh incrementally.
     query = max(bounded, key=lambda q: q.num_nodes)
-    plan = qplan(query, schema)
-    run = bvf2(query, index, plan=plan)
+    run = engine.query(query)
     print(f"\nquery {query.name!r} ({query.num_nodes} nodes): "
-          f"{len(run.answer)} matches, accessed {run.stats.total_accessed} "
-          f"of {graph.size} items")
+          f"{len(run.answer)} matches, accessed "
+          f"{run.stats.total_accessed} of {graph.size} items")
 
     evaluator = IncrementalEvaluator(graph, schema)
     evaluator.register("q", query)

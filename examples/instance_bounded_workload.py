@@ -6,16 +6,16 @@ a deliberately weakened schema; EEChk finds the smallest M whose
 M-bounded extension (extra type (1)/(2) constraints with bounds <= M)
 makes every query answerable with bounded access on *this* graph, and the
 greedy approximation trims the extension (the exact minimum is
-logAPX-hard).
+logAPX-hard). The newly bounded query is then served through a
+``QueryEngine`` session over the extended schema.
 
 Run:  python examples/instance_bounded_workload.py
 """
 
 import random
 
-from repro import AccessSchema, SchemaIndex, bvf2, ebchk, qplan
+from repro import AccessSchema, QueryEngine, ebchk
 from repro.core.instance import (
-    eechk,
     find_min_m,
     greedy_minimum_extension,
     min_m_for_fraction,
@@ -59,13 +59,14 @@ def main() -> None:
     for constraint in greedy[:10]:
         print(f"  + {constraint}")
 
-    # Evaluate one previously-unbounded query under the extension.
+    # Serve a previously-unbounded query through a session over the
+    # extended schema (snapshot + index build + plan compile, once).
     extended = AccessSchema(weak)
     extended.extend(greedy)
+    engine = QueryEngine.open(graph, extended)
     target = next(q for q in workload
                   if not ebchk(q, weak).bounded and ebchk(q, extended).bounded)
-    plan = qplan(target, extended)
-    run = bvf2(target, SchemaIndex(graph, extended), plan=plan)
+    run = engine.query(target)
     print(f"\nquery {target.name!r} ({target.num_nodes} nodes) now bounded: "
           f"{len(run.answer)} matches, accessed {run.stats.total_accessed} "
           f"of {graph.size} items")

@@ -2,14 +2,16 @@
 """Quickstart: the paper's workflow in ~40 lines.
 
 1. Build (or load) a data graph and an access schema it satisfies.
-2. Check whether your pattern query is effectively bounded (EBChk).
-3. Generate a worst-case-optimal query plan (QPlan).
-4. Evaluate by fetching only the bounded subgraph G_Q (bVF2).
+2. Open a ``QueryEngine`` session: the graph is snapshotted and the
+   schema indexes are built once.
+3. Ask whether your pattern query is effectively bounded (EBChk).
+4. Evaluate it: the engine compiles a worst-case-optimal plan (QPlan),
+   caches it, and fetches only the bounded subgraph G_Q (bVF2).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SchemaIndex, bvf2, ebchk, find_matches, qplan
+from repro import QueryEngine, ebchk, find_matches
 from repro.graph.generators import imdb_like
 from repro.pattern import parse_pattern
 
@@ -19,6 +21,9 @@ def main() -> None:
     graph, schema = imdb_like(scale=0.05, seed=1)
     print(f"data graph: {graph}")
     print(f"access schema: {len(schema)} constraints, |A| = {schema.total_length}")
+
+    # One session: snapshot + index build happen here, once.
+    engine = QueryEngine.open(graph, schema)
 
     # "Find actor/actress pairs from the same country who co-starred in an
     #  award-winning film released 2011-2013" — the paper's Q0 (Fig. 1).
@@ -36,16 +41,19 @@ def main() -> None:
     verdict = ebchk(query, schema)
     print(f"\nEBChk: {verdict.explain()}")
 
-    # Step 2: generate the worst-case optimal plan.
-    plan = qplan(query, schema)
-    print(f"\n{plan.describe()}")
+    # Step 2: compile once — EBChk + QPlan, cached by pattern form.
+    prepared = engine.prepare(query)
+    print(f"\n{prepared.plan.describe()}")
 
     # Step 3: evaluate through the indexes — time depends on Q and A only.
-    index = SchemaIndex(graph, schema)
-    run = bvf2(query, index, plan=plan)
+    run = engine.query(query)
     print(f"\nbVF2 found {len(run.answer)} matches while accessing "
           f"{run.stats.total_accessed} of |G| = {graph.size} items "
           f"({100 * run.stats.total_accessed / graph.size:.2f}%)")
+
+    # Asking again is a plan-cache hit and reuses the memoized answer.
+    engine.query(query)
+    print(f"asked twice, planned once: {engine.cache_info()}")
 
     # Sanity: identical to evaluating on the whole graph.
     direct = find_matches(query, graph)

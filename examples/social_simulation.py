@@ -7,6 +7,9 @@ require walking a cycle as large as the graph — while Q2 (two edges
 reversed) is, and its plan touches a constant 8 nodes + 12 edges no
 matter how big the cycle grows.
 
+Each cycle size gets its own ``QueryEngine`` session, but the sessions
+share one plan cache: Q2 is compiled exactly once for the whole sweep.
+
 Run:  python examples/social_simulation.py
 """
 
@@ -16,12 +19,12 @@ from repro import (
     AccessStats,
     Graph,
     Pattern,
-    SchemaIndex,
-    bsim,
+    PlanCache,
+    QueryEngine,
     sebchk,
     simulate,
-    sqplan,
 )
+from repro.core.actualized import SIMULATION
 from repro.matching.simulation import relation_pairs
 
 
@@ -65,7 +68,10 @@ def main() -> None:
     print("Q1:", sebchk(q1, schema).explain())
     print("Q2:", sebchk(q2, schema).explain())
 
-    plan = sqplan(q2, schema)
+    # One plan cache for every cycle size — sQPlan runs once.
+    plan_cache = PlanCache()
+    engine = QueryEngine.open(build_g1(2), schema, plan_cache=plan_cache)
+    plan = engine.prepare(q2, SIMULATION).plan
     print(f"\n{plan.describe()}\n")
 
     print("Scaling the cycle: bounded evaluation touches the same data,")
@@ -74,13 +80,15 @@ def main() -> None:
           f"{'answer':>7}")
     for n in (5, 50, 500):
         g1 = build_g1(n)
+        session = QueryEngine.open(g1, schema, plan_cache=plan_cache)
         stats = AccessStats()
-        run = bsim(q2, SchemaIndex(g1, schema), plan=plan, stats=stats)
+        run = session.query(q2, SIMULATION, stats=stats)
         direct = simulate(q2, g1)
         assert relation_pairs(run.answer) == relation_pairs(direct)
         answer = "empty" if not relation_pairs(run.answer) else "match"
         print(f"{n:>8} | {g1.size:>6} | {stats.total_accessed:>13} | "
               f"{answer:>7}")
+    print(f"plan cache after the sweep: {plan_cache.info()}")
 
     # And a graph where Q2 does match:
     g = Graph()
@@ -90,7 +98,8 @@ def main() -> None:
     d = g.add_node("D")
     for edge in [(a, b), (b, a), (b, c), (b, d)]:
         g.add_edge(*edge)
-    run = bsim(q2, SchemaIndex(g, schema), plan=plan)
+    run = QueryEngine.open(g, schema, plan_cache=plan_cache).query(
+        q2, SIMULATION)
     print(f"\nOn a satisfying graph, the maximum match relation is:")
     for u, matches in sorted(run.answer.items()):
         print(f"  pattern node {u} ({q2.label_of(u)}) -> data nodes {sorted(matches)}")

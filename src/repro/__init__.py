@@ -7,21 +7,22 @@ A faithful, from-scratch reproduction of:
 
 The workflow the paper proposes, in this library's vocabulary:
 
->>> from repro import (Graph, Pattern, AccessSchema, SchemaIndex,
-...                    ebchk, qplan, bvf2)
+>>> from repro import QueryEngine, ebchk
 >>> from repro.graph.generators import imdb_like
 >>> from repro.pattern import parse_pattern
 >>> graph, schema = imdb_like(scale=0.02)
 >>> q = parse_pattern("m: movie; y: year; m -> y")
 >>> ebchk(q, schema).bounded                    # (1) is Q bounded under A?
 True
->>> plan = qplan(q, schema)                     # (2) worst-case optimal plan
->>> run = bvf2(q, SchemaIndex(graph, schema), plan=plan)   # (3) evaluate
+>>> engine = QueryEngine.open(graph, schema)    # (2) snapshot + index, once
+>>> run = engine.query(q)                       # (3) plan (cached) + evaluate
 >>> len(run.answer) > 0
 True
 
-See DESIGN.md for the module map and EXPERIMENTS.md for the reproduction
-of every table and figure in the paper's evaluation.
+The loose pieces (``SchemaIndex``, ``qplan``, ``bvf2``...) remain
+available for single-shot use; the engine amortizes them across repeated
+queries. See DESIGN.md for the module map, the correctness argument and
+the engine architecture.
 """
 
 from repro.accounting import AccessStats
@@ -50,8 +51,10 @@ from repro.core import (
     seechk,
     sqplan,
 )
+from repro.engine import PlanCache, PreparedQuery, QueryEngine
 from repro.errors import (
     ConstraintViolation,
+    EngineError,
     MatchTimeout,
     NotEffectivelyBounded,
     ReproError,
@@ -78,6 +81,7 @@ __all__ = [
     "ConstraintIndex",
     "ConstraintViolation",
     "EEPResult",
+    "EngineError",
     "ExecutionResult",
     "FrozenGraph",
     "Graph",
@@ -87,7 +91,10 @@ __all__ = [
     "NotEffectivelyBounded",
     "Pattern",
     "PatternGenerator",
+    "PlanCache",
     "Predicate",
+    "PreparedQuery",
+    "QueryEngine",
     "QueryPlan",
     "ReproError",
     "SchemaIndex",

@@ -28,11 +28,17 @@ class AccessStats:
         Number of index fetch operations issued.
     distinct_nodes:
         Distinct data nodes seen across all fetches.
+    plan_cache_hits / plan_cache_misses:
+        Plan-cache outcomes recorded by the
+        :class:`~repro.engine.engine.QueryEngine` while preparing queries.
+        Zero outside engine workloads.
     """
 
     nodes_fetched: int = 0
     edges_checked: int = 0
     index_fetches: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     _seen: set = field(default_factory=set, repr=False)
 
     @property
@@ -67,11 +73,21 @@ class AccessStats:
             self._seen.add(node)
         self.edges_checked += count
 
+    def record_cache_hit(self) -> None:
+        """Record one plan-cache hit (a prepare served without planning)."""
+        self.plan_cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """Record one plan-cache miss (EBChk + QPlan actually ran)."""
+        self.plan_cache_misses += 1
+
     def merge(self, other: "AccessStats") -> None:
         """Fold another recorder's counts into this one."""
         self.nodes_fetched += other.nodes_fetched
         self.edges_checked += other.edges_checked
         self.index_fetches += other.index_fetches
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
         self._seen |= other._seen
 
     def as_dict(self) -> dict:
@@ -81,4 +97,6 @@ class AccessStats:
             "index_fetches": self.index_fetches,
             "distinct_nodes": self.distinct_nodes,
             "total_accessed": self.total_accessed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }

@@ -6,8 +6,14 @@ the same tables/series the paper plots. See DESIGN.md's per-experiment
 index for the figure-to-function map.
 """
 
-from repro.bench.datasets import get_dataset, get_schema_index, get_workload
+from repro.bench.datasets import (
+    get_dataset,
+    get_engine,
+    get_schema_index,
+    get_workload,
+)
 from repro.bench.harness import (
+    engine_throughput,
     exp1_percentages,
     exp3_algorithm_times,
     fig5_index_size,
@@ -21,8 +27,10 @@ from repro.bench.reporting import render_series, render_table
 
 __all__ = [
     "get_dataset",
+    "get_engine",
     "get_schema_index",
     "get_workload",
+    "engine_throughput",
     "exp1_percentages",
     "exp3_algorithm_times",
     "fig5_index_size",

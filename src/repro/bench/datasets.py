@@ -1,8 +1,9 @@
 """Dataset and workload registry for the benchmark harness.
 
-Datasets and their schema indexes are memoized per (name, scale, seed), so
-a bench sweep that revisits the same configuration pays generation and
-index-build cost once.
+Datasets, their schema indexes and their engine sessions are memoized per
+(name, scale, seed), so a bench sweep that revisits the same
+configuration pays generation, index-build and plan-compilation cost
+once.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ import random
 from functools import lru_cache
 
 from repro.constraints.index import SchemaIndex
+from repro.engine import QueryEngine
 from repro.errors import BenchmarkError
 from repro.graph.generators import dbpedia_like, imdb_like, web_like
 from repro.pattern.generator import PatternGenerator
@@ -45,6 +47,14 @@ def get_schema_index(name: str, scale: float, seed: int = 0,
     if num_constraints is not None:
         schema = schema.restricted_to(num_constraints)
     return SchemaIndex(graph, schema)
+
+
+@lru_cache(maxsize=32)
+def get_engine(name: str, scale: float, seed: int = 0) -> QueryEngine:
+    """Memoized frozen :class:`QueryEngine` session over a dataset —
+    snapshot, index build and plan cache are shared across experiments."""
+    graph, schema = get_dataset(name, scale, seed)
+    return QueryEngine.open(graph, schema)
 
 
 @lru_cache(maxsize=64)

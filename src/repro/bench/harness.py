@@ -12,7 +12,14 @@ fig5_varying_a            Fig. 5(c,g,k) — bVF2/bSim time vs ‖A‖
 fig5_index_size           Fig. 5(d,h,l) — accessed data / index size vs #n
 fig6_instance_bounded     Fig. 6(a,b) — minimum M vs % instance-bounded
 exp3_algorithm_times      Expt-3 — EBChk/QPlan/sEBChk/sQPlan latency
+engine_throughput         (new) cold vs prepared vs batched queries/sec
 ========================  =====================================
+
+Bounded evaluation goes through :class:`~repro.engine.engine.QueryEngine`
+sessions: one snapshot + index build per (dataset, schema) and one plan
+compilation per canonical pattern, exactly what a query-serving
+deployment amortizes. ``exp3`` deliberately bypasses the plan cache — it
+measures EBChk/QPlan latency itself.
 
 Baselines that exceed the per-run ``timeout`` are censored (None in the
 row), just as the paper cut VF2/optVF2 off at 40 000 s.
@@ -24,13 +31,13 @@ import time
 from statistics import mean
 
 from repro.accounting import AccessStats
-from repro.bench.datasets import get_dataset, get_schema_index, get_workload
+from repro.bench.datasets import get_dataset, get_engine, get_workload
 from repro.core.actualized import SIMULATION, SUBGRAPH
 from repro.core.ebchk import is_effectively_bounded
 from repro.core.instance import min_m_for_fraction
 from repro.core.qplan import generate_plan
+from repro.engine import PlanCache, QueryEngine
 from repro.errors import MatchTimeout
-from repro.matching.bounded import bsim, bvf2
 from repro.matching.optimized import opt_gsim, opt_vf2
 from repro.matching.simulation import simulate
 from repro.matching.vf2 import find_matches
@@ -91,56 +98,56 @@ def fig5_varying_g(dataset: str, scale: float = 0.08,
 
     Exactly like the paper, |G| varies by taking induced subsets of one
     fixed graph under one fixed schema (access constraints are monotone
-    under subgraphs, see :mod:`repro.graph.sampling`); plans are generated
-    once since they depend on Q and A only. Bounded evaluation should stay
-    flat as the scale factor grows, while the conventional algorithms grow
-    or get censored. Rows also report the *data accessed* by the bounded
+    under subgraphs, see :mod:`repro.graph.sampling`); the engine
+    sessions share one plan cache, so plans are compiled once — they
+    depend on Q and A only. Bounded evaluation should stay flat as the
+    scale factor grows, while the conventional algorithms grow or get
+    censored. Rows also report the *data accessed* by the bounded
     algorithms — the deterministic version of the flatness claim.
     """
-    from repro.constraints.index import SchemaIndex
     from repro.graph.sampling import scale_series
 
     full_graph, schema = get_dataset(dataset, scale)
     pool = get_workload(dataset, scale, count=100, seed=seed)
     sub_queries = _bounded_queries(pool, schema, SUBGRAPH, queries_per_point)
     sim_queries = _bounded_queries(pool, schema, SIMULATION, queries_per_point)
-    sub_plans = [generate_plan(q, schema, SUBGRAPH) for q in sub_queries]
-    sim_plans = [generate_plan(q, schema, SIMULATION) for q in sim_queries]
 
-    sub_worst = _mean_or_none([p.worst_case_total_accessed for p in sub_plans])
-    sim_worst = _mean_or_none([p.worst_case_total_accessed for p in sim_plans])
+    # One plan cache across every scale point: plans depend on Q and A only.
+    plan_cache = PlanCache()
+    sub_worst = sim_worst = None
 
     rows = []
     for fraction, graph in scale_series(full_graph, fractions, seed=seed):
-        sx = SchemaIndex(graph, schema)
+        engine = QueryEngine.open(graph, schema, plan_cache=plan_cache)
+        sub_prepared = [engine.prepare(q, SUBGRAPH) for q in sub_queries]
+        sim_prepared = [engine.prepare(q, SIMULATION) for q in sim_queries]
+        if sub_worst is None:
+            sub_worst = _mean_or_none(
+                [p.worst_case_total_accessed for p in sub_prepared])
+            sim_worst = _mean_or_none(
+                [p.worst_case_total_accessed for p in sim_prepared])
         row = {"scale": fraction, "graph_size": graph.size,
                "bvf2_bound": sub_worst, "bsim_bound": sim_worst}
 
-        times, accessed = [], []
-        for q, p in zip(sub_queries, sub_plans):
-            stats = AccessStats()
-            seconds, _ = timed(bvf2, q, sx, plan=p, stats=stats)
-            times.append(seconds)
-            accessed.append(stats.total_accessed)
-        row["bvf2"] = _mean_or_none(times)
-        row["bvf2_accessed"] = _mean_or_none(accessed)
+        for key, prepared_queries in (("bvf2", sub_prepared),
+                                      ("bsim", sim_prepared)):
+            times, accessed = [], []
+            for prepared in prepared_queries:
+                stats = AccessStats()
+                seconds, _ = timed(prepared.run, stats=stats)
+                times.append(seconds)
+                accessed.append(stats.total_accessed)
+            row[key] = _mean_or_none(times)
+            row[f"{key}_accessed"] = _mean_or_none(accessed)
 
-        times, accessed = [], []
-        for q, p in zip(sim_queries, sim_plans):
-            stats = AccessStats()
-            seconds, _ = timed(bsim, q, sx, plan=p, stats=stats)
-            times.append(seconds)
-            accessed.append(stats.total_accessed)
-        row["bsim"] = _mean_or_none(times)
-        row["bsim_accessed"] = _mean_or_none(accessed)
-
+        sx = engine.schema_index
         row["vf2"] = _mean_or_none(
-            [timed(find_matches, q, graph, timeout=timeout)[0]
+            [timed(find_matches, q, engine.graph, timeout=timeout)[0]
              for q in sub_queries])
         row["optvf2"] = _mean_or_none(
             [timed(opt_vf2, q, sx, timeout=timeout)[0] for q in sub_queries])
         row["gsim"] = _mean_or_none(
-            [timed(simulate, q, graph, timeout=timeout)[0]
+            [timed(simulate, q, engine.graph, timeout=timeout)[0]
              for q in sim_queries])
         row["optgsim"] = _mean_or_none(
             [timed(opt_gsim, q, sx, timeout=timeout)[0] for q in sim_queries])
@@ -152,9 +159,18 @@ def fig5_varying_g(dataset: str, scale: float = 0.08,
 def fig5_varying_q(dataset: str, node_counts=(3, 4, 5, 6, 7),
                    scale: float = 0.05, queries_per_point: int = 3,
                    timeout: float = 10.0, seed: int = 42) -> list[dict]:
-    """Evaluation time vs pattern size #n."""
+    """Evaluation time vs pattern size #n.
+
+    The bounded algorithms run through a *fresh* engine session (not the
+    memoized one): every timed call then pays EBChk + QPlan + execution
+    exactly once, like the seed's per-call `bvf2`, regardless of what
+    other experiments already compiled in this process. ``refresh=True``
+    forces a real execution per measurement (the engine would otherwise
+    serve repeated calls from its answer memo).
+    """
     graph, schema = get_dataset(dataset, scale)
-    sx = get_schema_index(dataset, scale)
+    engine = QueryEngine.open(graph, schema)
+    sx = engine.schema_index
     rows = []
     for n in node_counts:
         pool = get_workload(dataset, scale, count=150, seed=seed + n,
@@ -165,16 +181,18 @@ def fig5_varying_q(dataset: str, node_counts=(3, 4, 5, 6, 7),
                                        queries_per_point)
         row = {"num_nodes": n}
         row["bvf2"] = _mean_or_none(
-            [timed(bvf2, q, sx)[0] for q in sub_queries])
+            [timed(engine.query, q, SUBGRAPH, refresh=True)[0]
+             for q in sub_queries])
         row["bsim"] = _mean_or_none(
-            [timed(bsim, q, sx)[0] for q in sim_queries])
+            [timed(engine.query, q, SIMULATION, refresh=True)[0]
+             for q in sim_queries])
         row["vf2"] = _mean_or_none(
-            [timed(find_matches, q, graph, timeout=timeout)[0]
+            [timed(find_matches, q, engine.graph, timeout=timeout)[0]
              for q in sub_queries])
         row["optvf2"] = _mean_or_none(
             [timed(opt_vf2, q, sx, timeout=timeout)[0] for q in sub_queries])
         row["gsim"] = _mean_or_none(
-            [timed(simulate, q, graph, timeout=timeout)[0]
+            [timed(simulate, q, engine.graph, timeout=timeout)[0]
              for q in sim_queries])
         row["optgsim"] = _mean_or_none(
             [timed(opt_gsim, q, sx, timeout=timeout)[0] for q in sim_queries])
@@ -196,10 +214,10 @@ def fig5_varying_a(dataset: str, constraint_counts=(12, 14, 16, 18, 20),
     schema does not (yet) bound a query report None for it — the "more
     access constraints help" story.
     """
-    from repro.constraints.index import SchemaIndex
     from repro.constraints.schema import AccessSchema
 
     graph, full_schema = get_dataset(dataset, scale)
+    full_engine = get_engine(dataset, scale)
     pool = get_workload(dataset, scale, count=200, seed=seed)
     sub_queries = _bounded_queries(pool, full_schema, SUBGRAPH,
                                    queries_per_point)
@@ -220,9 +238,9 @@ def fig5_varying_a(dataset: str, constraint_counts=(12, 14, 16, 18, 20),
 
     for i in range(max(len(sub_queries), len(sim_queries))):
         if i < len(sub_queries):
-            enqueue(generate_plan(sub_queries[i], full_schema, SUBGRAPH))
+            enqueue(full_engine.prepare(sub_queries[i], SUBGRAPH).plan)
         if i < len(sim_queries):
-            enqueue(generate_plan(sim_queries[i], full_schema, SIMULATION))
+            enqueue(full_engine.prepare(sim_queries[i], SIMULATION).plan)
     for constraint in full_schema:
         if constraint not in seen:
             seen.add(constraint)
@@ -230,18 +248,17 @@ def fig5_varying_a(dataset: str, constraint_counts=(12, 14, 16, 18, 20),
     rows = []
     for count in constraint_counts:
         schema = AccessSchema(ordered[:count])
-        sx = SchemaIndex(graph, schema)
+        engine = QueryEngine.open(graph, schema)
         row = {"num_constraints": count}
-        for key, queries, semantics, runner in (
-                ("bvf2", sub_queries, SUBGRAPH, bvf2),
-                ("bsim", sim_queries, SIMULATION, bsim)):
+        for key, queries, semantics in (("bvf2", sub_queries, SUBGRAPH),
+                                        ("bsim", sim_queries, SIMULATION)):
             times = []
             for query in queries:
                 if not is_effectively_bounded(query, schema,
                                               semantics).bounded:
                     continue
-                plan = generate_plan(query, schema, semantics)
-                times.append(timed(runner, query, sx, plan=plan)[0])
+                prepared = engine.prepare(query, semantics)
+                times.append(timed(prepared.run, refresh=True)[0])
             row[key] = _mean_or_none(times)
         rows.append(row)
     return rows
@@ -256,24 +273,24 @@ def fig5_index_size(dataset: str, node_counts=(3, 4, 5, 6, 7),
     Paper: accessed <= 0.13 % of |G|; used indices < 8 % of |G|.
     """
     graph, schema = get_dataset(dataset, scale)
-    sx = get_schema_index(dataset, scale)
+    engine = get_engine(dataset, scale)
+    sx = engine.schema_index
     rows = []
     for n in node_counts:
         pool = get_workload(dataset, scale, count=150, seed=seed + n,
                             num_nodes=n)
         row = {"num_nodes": n}
-        for semantics, runner, key in ((SUBGRAPH, bvf2, "bvf2"),
-                                       (SIMULATION, bsim, "bsim")):
+        for semantics, key in ((SUBGRAPH, "bvf2"), (SIMULATION, "bsim")):
             queries = _bounded_queries(pool, schema, semantics,
                                        queries_per_point)
             accessed, index_sizes = [], []
             for query in queries:
-                plan = generate_plan(query, schema, semantics)
+                prepared = engine.prepare(query, semantics)
                 stats = AccessStats()
-                runner(query, sx, plan=plan, stats=stats)
+                prepared.run(stats=stats)
                 accessed.append(stats.total_accessed / graph.size)
                 index_sizes.append(
-                    sx.size_for(plan.constraints_used()) / graph.size)
+                    sx.size_for(prepared.plan.constraints_used()) / graph.size)
             row[f"{key}_accessed"] = _mean_or_none(accessed)
             row[f"{key}_index"] = _mean_or_none(index_sizes)
         rows.append(row)
@@ -294,6 +311,67 @@ def fig6_instance_bounded(dataset: str, fractions=(0.6, 0.7, 0.8, 0.9, 0.95, 1.0
                                   semantics=semantics)
         rows.append({"fraction_pct": 100 * fraction, "min_m": m,
                      "m_over_g": (m / graph.size) if m is not None else None})
+    return rows
+
+
+# ------------------------------------------------------- engine throughput
+def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
+                      distinct: int = 10, repeats: int = 5,
+                      semantics: str = SUBGRAPH, seed: int = 42) -> list[dict]:
+    """Queries/sec for the three ways of serving a repeated workload.
+
+    The workload is ``distinct`` effectively bounded patterns, each asked
+    ``repeats`` times (interleaved), mirroring a query-serving deployment
+    where a handful of query shapes dominate traffic:
+
+    * ``cold`` — the seed repo's per-call pattern: a fresh engine per
+      query, paying snapshot + index build + EBChk + QPlan every time
+      (measured over one round of the distinct patterns);
+    * ``prepared`` — one warm engine session; every call after the first
+      per pattern hits the plan cache and only executes;
+    * ``batched`` — ``query_batch`` on a fresh session: plans compiled
+      once per pattern *and* each distinct query executed once per batch.
+
+    Rows are JSON-serializable so benchmark runs leave a comparable
+    perf trajectory (see ``benchmarks/bench_engine_throughput.py``).
+    """
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    queries = _bounded_queries(pool, schema, semantics, distinct)
+    workload = list(queries) * repeats
+
+    rows = []
+
+    start = time.perf_counter()
+    for query in queries:
+        cold_engine = QueryEngine.open(graph, schema)
+        cold_engine.query(query, semantics)
+    cold_seconds = time.perf_counter() - start
+    rows.append({"mode": "cold", "queries": len(queries),
+                 "seconds": cold_seconds,
+                 "qps": len(queries) / cold_seconds,
+                 "plan_cache_hits": 0})
+
+    warm_engine = QueryEngine.open(graph, schema)
+    for query in queries:
+        warm_engine.prepare(query, semantics)
+    start = time.perf_counter()
+    for query in workload:
+        warm_engine.query(query, semantics, refresh=True)
+    prepared_seconds = time.perf_counter() - start
+    rows.append({"mode": "prepared", "queries": len(workload),
+                 "seconds": prepared_seconds,
+                 "qps": len(workload) / prepared_seconds,
+                 "plan_cache_hits": warm_engine.stats.plan_cache_hits})
+
+    batch_engine = QueryEngine.open(graph, schema)
+    start = time.perf_counter()
+    batch_engine.query_batch(workload, semantics)
+    batched_seconds = time.perf_counter() - start
+    rows.append({"mode": "batched", "queries": len(workload),
+                 "seconds": batched_seconds,
+                 "qps": len(workload) / batched_seconds,
+                 "plan_cache_hits": batch_engine.stats.plan_cache_hits})
     return rows
 
 

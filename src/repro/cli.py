@@ -20,14 +20,13 @@ import sys
 from pathlib import Path
 
 from repro import __version__
-from repro.constraints.index import SchemaIndex
 from repro.constraints.schema import AccessSchema
-from repro.core.actualized import SEMANTICS, SIMULATION, SUBGRAPH
+from repro.core.actualized import SEMANTICS, SUBGRAPH
 from repro.core.ebchk import is_effectively_bounded
 from repro.core.qplan import generate_plan
+from repro.engine import QueryEngine
 from repro.errors import NotEffectivelyBounded, ReproError
 from repro.graph import io as graph_io
-from repro.matching.bounded import bsim, bvf2
 from repro.matching.simulation import relation_pairs
 from repro.pattern.dsl import parse_pattern
 
@@ -67,12 +66,9 @@ def _cmd_run(args) -> int:
     pattern = _load_pattern(args.pattern)
     schema = AccessSchema.load(args.schema)
     graph = _load_graph(args.graph)
-    index = SchemaIndex(graph, schema)
-    if args.validate:
-        index.validate()
-    runner = bvf2 if args.semantics == SUBGRAPH else bsim
+    engine = QueryEngine.open(graph, schema, validate=args.validate)
     try:
-        run = runner(pattern, index)
+        run = engine.query(pattern, args.semantics)
     except NotEffectivelyBounded as exc:
         print(f"not effectively bounded: {exc}", file=sys.stderr)
         return 1
@@ -119,6 +115,7 @@ def _cmd_profile(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.bench import (
+        engine_throughput,
         exp1_percentages,
         exp3_algorithm_times,
         fig5_index_size,
@@ -134,6 +131,7 @@ def _cmd_bench(args) -> int:
         "fig5-varying-a": fig5_varying_a,
         "fig5-index-size": fig5_index_size,
         "fig6-instance": fig6_instance_bounded,
+        "engine-throughput": engine_throughput,
     }
     if args.experiment == "exp1":
         rows = exp1_percentages(scale=args.scale)
@@ -200,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--experiment", required=True,
                          help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
                               " | fig5-varying-a | fig5-index-size"
-                              " | fig6-instance")
+                              " | fig6-instance | engine-throughput")
     p_bench.add_argument("--dataset", default="imdb")
     p_bench.add_argument("--scale", type=float, default=0.05)
     p_bench.set_defaults(func=_cmd_bench)

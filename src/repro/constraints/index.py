@@ -11,6 +11,19 @@ Construction enumerates, for each target node ``w`` labeled ``l``, the
 S-labeled subsets of ``w``'s neighbourhood (a per-label product), which is
 the same work the paper's "create a table in which each tuple encodes an
 actualized constraint" performs.
+
+Two storage variants share one retrieval interface
+(:class:`BaseConstraintIndex`):
+
+* :class:`ConstraintIndex` — mutable, set-valued payloads, optional
+  member tracking for incremental maintenance.
+* :class:`FrozenConstraintIndex` — read-only, payloads stored as sorted
+  tuples (no per-set overhead, zero-copy ``fetch``); the variant a frozen
+  :class:`~repro.engine.engine.QueryEngine` session selects.
+
+Plan execution (:mod:`repro.core.executor`) and incremental evaluation
+(:mod:`repro.core.incremental`) are written against the shared interface,
+so they run on either variant unchanged.
 """
 
 from __future__ import annotations
@@ -24,109 +37,32 @@ from repro.errors import ConstraintViolation, SchemaError
 from repro.graph.graph import GraphView
 
 
-class ConstraintIndex:
-    """Index for one access constraint over one graph.
+def _keys_for_target(constraint: AccessConstraint, w: int, graph: GraphView):
+    """Enumerate the canonical keys of S-labeled neighbour sets of ``w``."""
+    source = constraint.source
+    if not source:
+        yield ()
+        return
+    neighbours = graph.neighbors(w)
+    per_label: list[list[int]] = []
+    for label in source:  # already sorted canonically
+        bucket = [v for v in neighbours if graph.label_of(v) == label]
+        if not bucket:
+            return
+        per_label.append(sorted(bucket))
+    yield from product(*per_label)
 
-    Parameters
-    ----------
-    track_members:
-        When True, reverse maps (node -> keys it appears in) are kept so
-        the index supports incremental maintenance; costs extra memory.
+
+class BaseConstraintIndex:
+    """Shared retrieval/inspection interface of the two index variants.
+
+    Subclasses provide ``self.constraint`` and ``self._entries`` — a
+    mapping from canonical S-labeled key tuples to payload collections
+    (sets for the mutable variant, sorted tuples for the frozen one).
+    Everything below depends only on that contract.
     """
 
-    __slots__ = ("constraint", "_entries", "_max_entry", "_track",
-                 "_target_cells", "_member_keys")
-
-    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None,
-                 track_members: bool = False):
-        self.constraint = constraint
-        self._entries: dict[tuple[int, ...], set[int]] = {}
-        self._max_entry = 0
-        self._track = track_members
-        # target node -> set of keys whose payload contains it
-        self._target_cells: dict[int, set[tuple[int, ...]]] = {}
-        # key-member node -> set of keys containing it
-        self._member_keys: dict[int, set[tuple[int, ...]]] = {}
-        if graph is not None:
-            self.build(graph)
-
-    # -- construction -------------------------------------------------------------
-    def build(self, graph: GraphView) -> "ConstraintIndex":
-        """(Re)build the index from scratch over ``graph``."""
-        self._entries = {}
-        self._max_entry = 0
-        self._target_cells = {}
-        self._member_keys = {}
-        for w in graph.nodes_with_label(self.constraint.target):
-            self.add_target(w, graph)
-        if self.constraint.is_type1:
-            # A type (1) index has the single key () even in an empty graph.
-            self._entries.setdefault((), set())
-        return self
-
-    def add_target(self, w: int, graph: GraphView) -> None:
-        """Insert the cells contributed by target node ``w``."""
-        for key in self._keys_for_target(w, graph):
-            payload = self._entries.setdefault(key, set())
-            payload.add(w)
-            if len(payload) > self._max_entry:
-                self._max_entry = len(payload)
-            if self._track:
-                self._target_cells.setdefault(w, set()).add(key)
-                for member in key:
-                    self._member_keys.setdefault(member, set()).add(key)
-
-    def remove_target(self, w: int) -> None:
-        """Remove every cell contributed by target node ``w`` (requires
-        ``track_members=True``)."""
-        if not self._track:
-            raise SchemaError("index was built without member tracking")
-        for key in self._target_cells.pop(w, ()):
-            payload = self._entries.get(key)
-            if payload is None:
-                continue
-            payload.discard(w)
-            if not payload and key != ():
-                del self._entries[key]
-                for member in key:
-                    keys = self._member_keys.get(member)
-                    if keys is not None:
-                        keys.discard(key)
-                        if not keys:
-                            del self._member_keys[member]
-
-    def drop_keys_with(self, node: int) -> None:
-        """Remove every key containing ``node`` (after node deletion)."""
-        if not self._track:
-            raise SchemaError("index was built without member tracking")
-        for key in list(self._member_keys.get(node, ())):
-            payload = self._entries.pop(key, set())
-            for w in payload:
-                cells = self._target_cells.get(w)
-                if cells is not None:
-                    cells.discard(key)
-            for member in key:
-                if member == node:
-                    continue
-                keys = self._member_keys.get(member)
-                if keys is not None:
-                    keys.discard(key)
-        self._member_keys.pop(node, None)
-
-    def _keys_for_target(self, w: int, graph: GraphView):
-        """Enumerate the canonical keys of S-labeled neighbour sets of ``w``."""
-        source = self.constraint.source
-        if not source:
-            yield ()
-            return
-        neighbours = graph.neighbors(w)
-        per_label: list[list[int]] = []
-        for label in source:  # already sorted canonically
-            bucket = [v for v in neighbours if graph.label_of(v) == label]
-            if not bucket:
-                return
-            per_label.append(sorted(bucket))
-        yield from product(*per_label)
+    __slots__ = ()
 
     # -- retrieval -------------------------------------------------------------------
     def canonical_key(self, nodes: Iterable[int], graph: GraphView) -> tuple[int, ...]:
@@ -195,15 +131,151 @@ class ConstraintIndex:
         return self._entries.keys()
 
     def __repr__(self) -> str:
-        return (f"ConstraintIndex({self.constraint}, keys={self.num_keys}, "
+        return (f"{type(self).__name__}({self.constraint}, keys={self.num_keys}, "
                 f"max_entry={self.max_entry})")
+
+
+class ConstraintIndex(BaseConstraintIndex):
+    """Mutable index for one access constraint over one graph.
+
+    Parameters
+    ----------
+    track_members:
+        When True, reverse maps (node -> keys it appears in) are kept so
+        the index supports incremental maintenance; costs extra memory.
+    """
+
+    __slots__ = ("constraint", "_entries", "_track",
+                 "_target_cells", "_member_keys")
+
+    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None,
+                 track_members: bool = False):
+        self.constraint = constraint
+        self._entries: dict[tuple[int, ...], set[int]] = {}
+        self._track = track_members
+        # target node -> set of keys whose payload contains it
+        self._target_cells: dict[int, set[tuple[int, ...]]] = {}
+        # key-member node -> set of keys containing it
+        self._member_keys: dict[int, set[tuple[int, ...]]] = {}
+        if graph is not None:
+            self.build(graph)
+
+    # -- construction -------------------------------------------------------------
+    def build(self, graph: GraphView) -> "ConstraintIndex":
+        """(Re)build the index from scratch over ``graph``."""
+        self._entries = {}
+        self._target_cells = {}
+        self._member_keys = {}
+        for w in graph.nodes_with_label(self.constraint.target):
+            self.add_target(w, graph)
+        if self.constraint.is_type1:
+            # A type (1) index has the single key () even in an empty graph.
+            self._entries.setdefault((), set())
+        return self
+
+    def add_target(self, w: int, graph: GraphView) -> None:
+        """Insert the cells contributed by target node ``w``."""
+        for key in self._keys_for_target(w, graph):
+            payload = self._entries.setdefault(key, set())
+            payload.add(w)
+            if self._track:
+                self._target_cells.setdefault(w, set()).add(key)
+                for member in key:
+                    self._member_keys.setdefault(member, set()).add(key)
+
+    def remove_target(self, w: int) -> None:
+        """Remove every cell contributed by target node ``w`` (requires
+        ``track_members=True``)."""
+        if not self._track:
+            raise SchemaError("index was built without member tracking")
+        for key in self._target_cells.pop(w, ()):
+            payload = self._entries.get(key)
+            if payload is None:
+                continue
+            payload.discard(w)
+            if not payload and key != ():
+                del self._entries[key]
+                for member in key:
+                    keys = self._member_keys.get(member)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._member_keys[member]
+
+    def drop_keys_with(self, node: int) -> None:
+        """Remove every key containing ``node`` (after node deletion)."""
+        if not self._track:
+            raise SchemaError("index was built without member tracking")
+        for key in list(self._member_keys.get(node, ())):
+            payload = self._entries.pop(key, set())
+            for w in payload:
+                cells = self._target_cells.get(w)
+                if cells is not None:
+                    cells.discard(key)
+            for member in key:
+                if member == node:
+                    continue
+                keys = self._member_keys.get(member)
+                if keys is not None:
+                    keys.discard(key)
+        self._member_keys.pop(node, None)
+
+    def _keys_for_target(self, w: int, graph: GraphView):
+        return _keys_for_target(self.constraint, w, graph)
+
+    def freeze(self) -> "FrozenConstraintIndex":
+        """Compact this index into a read-only :class:`FrozenConstraintIndex`."""
+        return FrozenConstraintIndex.from_entries(self.constraint, self._entries)
+
+
+class FrozenConstraintIndex(BaseConstraintIndex):
+    """Read-optimized index: payloads stored as sorted tuples.
+
+    Construction does the same per-target enumeration as
+    :class:`ConstraintIndex.build` but the finished entries are compact
+    tuples — no per-set hash-table overhead, and :meth:`fetch` returns the
+    stored tuple without copying. The trade-off: no mutation, so no
+    incremental maintenance (rebuild or use the mutable variant instead).
+    """
+
+    __slots__ = ("constraint", "_entries")
+
+    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None):
+        self.constraint = constraint
+        self._entries: dict[tuple[int, ...], tuple[int, ...]] = {}
+        if graph is not None:
+            self.build(graph)
+
+    def build(self, graph: GraphView) -> "FrozenConstraintIndex":
+        """Build the compact index from scratch over ``graph``."""
+        staging: dict[tuple[int, ...], set[int]] = {}
+        for w in graph.nodes_with_label(self.constraint.target):
+            for key in _keys_for_target(self.constraint, w, graph):
+                staging.setdefault(key, set()).add(w)
+        if self.constraint.is_type1:
+            staging.setdefault((), set())
+        self._entries = {key: tuple(sorted(payload))
+                         for key, payload in staging.items()}
+        return self
+
+    @classmethod
+    def from_entries(cls, constraint: AccessConstraint,
+                     entries: dict[tuple[int, ...], Iterable[int]]) -> "FrozenConstraintIndex":
+        """Freeze an already-computed entry mapping (used by ``freeze``)."""
+        frozen = cls(constraint)
+        frozen._entries = {key: tuple(sorted(payload))
+                           for key, payload in entries.items()}
+        return frozen
 
 
 class SchemaIndex:
     """All indexes of an access schema over one graph.
 
     This is the object query plans execute against: it owns one
-    :class:`ConstraintIndex` per constraint plus the graph reference.
+    constraint index per constraint plus the graph reference. With
+    ``frozen=True`` the read-optimized :class:`FrozenConstraintIndex`
+    variant is built instead of the mutable default (incompatible with
+    ``track_members``).
 
     Examples
     --------
@@ -219,30 +291,44 @@ class SchemaIndex:
     """
 
     def __init__(self, graph: GraphView, schema: AccessSchema,
-                 track_members: bool = False, validate: bool = False):
+                 track_members: bool = False, validate: bool = False,
+                 frozen: bool = False):
+        if frozen and track_members:
+            raise SchemaError(
+                "a frozen index cannot track members (it is immutable)")
         self.graph = graph
         self.schema = schema
-        self._indexes: dict[AccessConstraint, ConstraintIndex] = {}
+        self.frozen = frozen
+        self._indexes: dict[AccessConstraint, BaseConstraintIndex] = {}
         for constraint in schema:
-            self._indexes[constraint] = ConstraintIndex(
-                constraint, graph, track_members=track_members)
+            self._indexes[constraint] = self._build_one(constraint, track_members)
         if validate:
             self.validate()
 
-    def index_for(self, constraint: AccessConstraint) -> ConstraintIndex:
+    def _build_one(self, constraint: AccessConstraint,
+                   track_members: bool) -> BaseConstraintIndex:
+        if self.frozen:
+            if track_members:
+                raise SchemaError(
+                    "a frozen index cannot track members (it is immutable)")
+            return FrozenConstraintIndex(constraint, self.graph)
+        return ConstraintIndex(constraint, self.graph,
+                               track_members=track_members)
+
+    def index_for(self, constraint: AccessConstraint) -> BaseConstraintIndex:
         try:
             return self._indexes[constraint]
         except KeyError:
             raise SchemaError(f"no index built for {constraint}") from None
 
     def add_constraint(self, constraint: AccessConstraint,
-                       track_members: bool = False) -> ConstraintIndex:
+                       track_members: bool = False) -> BaseConstraintIndex:
         """Extend the schema with a constraint and build its index (used by
         M-bounded extensions in Section V)."""
         if constraint in self._indexes:
             return self._indexes[constraint]
         self.schema.add(constraint)
-        index = ConstraintIndex(constraint, self.graph, track_members=track_members)
+        index = self._build_one(constraint, track_members)
         self._indexes[constraint] = index
         return index
 

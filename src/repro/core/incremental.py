@@ -9,10 +9,12 @@ The observation that makes this tractable here: once a query is
 effectively bounded, *re-evaluating from scratch already accesses a
 bounded amount of data* — the work that actually scales with ΔG is index
 maintenance, which :mod:`repro.constraints.maintenance` performs locally
-(inspecting ``ΔG ∪ Nb(ΔG)`` only). This module packages the two and adds
-a delta-level shortcut: a registered query is only re-evaluated when some
-changed node's label is *relevant* to it (appears in the query or in a
-constraint its plan uses); otherwise the cached answer stands.
+(inspecting ``ΔG ∪ Nb(ΔG)`` only). This module packages the two on top of
+a mutable :class:`~repro.engine.engine.QueryEngine` session (so plan
+compilation is cached per canonical pattern form) and adds a delta-level
+shortcut: a registered query is only re-evaluated when some changed
+node's label is *relevant* to it (appears in the query or in a constraint
+its plan uses); otherwise the cached answer stands.
 
 This gives exactly the bounded-incremental contract the paper sketches:
 per update batch, index repair touches ``O(|ΔG| + |Nb(ΔG)|)`` data and
@@ -24,16 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.accounting import AccessStats
-from repro.constraints.maintenance import MaintainedSchemaIndex, MaintenanceReport
+from repro.constraints.maintenance import MaintenanceReport
 from repro.constraints.schema import AccessSchema
-from repro.core.actualized import SIMULATION, SUBGRAPH
-from repro.core.executor import execute_plan
-from repro.core.qplan import generate_plan
+from repro.core.actualized import SUBGRAPH
+from repro.engine.engine import PreparedQuery, QueryEngine
 from repro.errors import PatternError, ReproError
 from repro.graph.delta import GraphDelta
 from repro.graph.graph import Graph
-from repro.matching.simulation import simulate
-from repro.matching.vf2 import find_matches
 from repro.pattern.pattern import Pattern
 
 
@@ -42,13 +41,23 @@ class RegisteredQuery:
     """A query kept continuously answered by the evaluator."""
 
     name: str
-    pattern: Pattern
-    semantics: str
-    plan: object
+    prepared: PreparedQuery
     relevant_labels: frozenset[str]
     answer: object = None
     evaluations: int = 0
     stats: AccessStats = field(default_factory=AccessStats)
+
+    @property
+    def pattern(self) -> Pattern:
+        return self.prepared.pattern
+
+    @property
+    def semantics(self) -> str:
+        return self.prepared.semantics
+
+    @property
+    def plan(self):
+        return self.prepared.plan
 
 
 class IncrementalEvaluator:
@@ -76,16 +85,21 @@ class IncrementalEvaluator:
     """
 
     def __init__(self, graph: Graph, schema: AccessSchema):
-        self._maintained = MaintainedSchemaIndex(graph, schema)
+        self._engine = QueryEngine(graph, schema, frozen=False)
         self._queries: dict[str, RegisteredQuery] = {}
 
     @property
+    def engine(self) -> QueryEngine:
+        """The underlying mutable engine session."""
+        return self._engine
+
+    @property
     def graph(self) -> Graph:
-        return self._maintained.graph
+        return self._engine.graph
 
     @property
     def schema(self) -> AccessSchema:
-        return self._maintained.schema
+        return self._engine.schema
 
     # -- registration -----------------------------------------------------------
     def register(self, name: str, pattern: Pattern,
@@ -94,13 +108,12 @@ class IncrementalEvaluator:
         initial answer."""
         if name in self._queries:
             raise PatternError(f"query {name!r} is already registered")
-        plan = generate_plan(pattern, self.schema, semantics)
+        prepared = self._engine.prepare(pattern, semantics)
         relevant = set(pattern.labels())
-        for constraint in plan.constraints_used():
+        for constraint in prepared.plan.constraints_used():
             relevant.add(constraint.target)
             relevant.update(constraint.source)
-        entry = RegisteredQuery(name=name, pattern=pattern,
-                                semantics=semantics, plan=plan,
+        entry = RegisteredQuery(name=name, prepared=prepared,
                                 relevant_labels=frozenset(relevant))
         self._queries[name] = entry
         self._evaluate(entry)
@@ -135,7 +148,7 @@ class IncrementalEvaluator:
         stale bounds would silently invalidate every registered plan.
         """
         touched_labels = self._labels_touched(delta)
-        report = self._maintained.apply(delta)
+        report = self._engine.apply(delta)
         if not report.still_satisfied:
             violated = ", ".join(str(c) for c, _, _ in report.violations)
             raise ReproError(
@@ -180,12 +193,6 @@ class IncrementalEvaluator:
         return labels
 
     def _evaluate(self, entry: RegisteredQuery) -> None:
-        execution = execute_plan(entry.plan, self._maintained.schema_index,
-                                 stats=entry.stats)
-        if entry.semantics == SUBGRAPH:
-            entry.answer = find_matches(entry.pattern, execution.gq,
-                                        candidates=execution.candidates)
-        else:
-            entry.answer = simulate(entry.pattern, execution.gq,
-                                    candidates=execution.candidates)
+        run = entry.prepared.run(stats=entry.stats)
+        entry.answer = run.answer
         entry.evaluations += 1

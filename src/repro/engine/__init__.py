@@ -1,0 +1,20 @@
+"""Query-serving session layer: compile once, serve many.
+
+* :class:`~repro.engine.engine.QueryEngine` — one graph snapshot + one
+  schema index behind a facade with plan caching, answer memoization and
+  batched execution.
+* :class:`~repro.engine.engine.PreparedQuery` — a compiled (EBChk +
+  QPlan) query bound to a session.
+* :class:`~repro.engine.cache.PlanCache` — the LRU plan cache, sharable
+  between sessions serving the same schema.
+"""
+
+from repro.engine.cache import PlanCache, pattern_fingerprint
+from repro.engine.engine import PreparedQuery, QueryEngine
+
+__all__ = [
+    "PlanCache",
+    "PreparedQuery",
+    "QueryEngine",
+    "pattern_fingerprint",
+]

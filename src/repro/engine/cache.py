@@ -1,0 +1,178 @@
+"""LRU plan cache and canonical pattern keys.
+
+The compiled artifacts of bounded evaluation — the EBChk verdict and the
+QPlan/sQPlan plan — depend on ``(Q, A, semantics)`` only, never on the
+graph. A :class:`~repro.engine.engine.QueryEngine` therefore caches them
+per session keyed on a *canonical pattern key*, so a repeated query (even
+one rebuilt from scratch with different node ids) pays planning once.
+
+Canonical keys are computed by colour refinement (a directed 1-WL pass
+seeded with node labels + predicate atoms) followed by an exact
+minimisation over the permutations of still-tied nodes. Patterns here are
+tiny (the paper's workloads use 3–7 nodes), so the exact step is cheap;
+a guard falls back to an id-ordered key for adversarially symmetric
+patterns rather than enumerating huge permutation spaces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from itertools import permutations, product
+from typing import Hashable, Iterable
+
+from repro.pattern.pattern import Pattern
+
+#: Permutation budget for the exact canonicalization step. Patterns with
+#: more symmetric orderings than this get an id-ordered (non-isomorphism-
+#: invariant, but stable and correct) key instead.
+MAX_CANONICAL_ORDERS = 5040  # 7!
+
+
+def _node_descriptor(pattern: Pattern, node: int) -> tuple:
+    """Renaming-invariant description of one pattern node: its label plus
+    the (order-canonicalised) predicate atoms."""
+    predicate = pattern.predicate_of(node)
+    return (pattern.label_of(node),
+            tuple(sorted(str(atom) for atom in predicate.atoms)))
+
+
+def _refine_colors(pattern: Pattern) -> dict[int, tuple]:
+    """Directed colour refinement until the partition stabilises."""
+    colors: dict[int, Hashable] = {
+        u: _node_descriptor(pattern, u) for u in pattern.nodes()}
+    for _ in range(pattern.num_nodes):
+        refined = {
+            u: (colors[u],
+                tuple(sorted(colors[w] for w in pattern.out_neighbors(u))),
+                tuple(sorted(colors[w] for w in pattern.in_neighbors(u))))
+            for u in pattern.nodes()}
+        if len(set(refined.values())) == len(set(colors.values())):
+            colors = refined
+            break
+        colors = refined
+    return colors
+
+
+def _encode(pattern: Pattern, order: tuple[int, ...]) -> tuple:
+    """Encode the pattern with nodes renumbered to positions in ``order``."""
+    position = {node: i for i, node in enumerate(order)}
+    nodes = tuple(_node_descriptor(pattern, node) for node in order)
+    edges = tuple(sorted((position[u], position[v])
+                         for u, v in pattern.edges()))
+    return (nodes, edges)
+
+
+def pattern_fingerprint(pattern: Pattern) -> tuple[tuple, tuple[int, ...]]:
+    """``(key, order)`` for a pattern.
+
+    ``key`` is hashable and equal for isomorphic patterns (modulo the
+    permutation budget); ``order`` lists the pattern's node ids in the
+    canonical position order realizing ``key``. Two patterns with equal
+    keys are isomorphic via ``order[i] <-> order[i]``, which is what lets
+    the engine translate a cached plan onto a renumbered pattern.
+    """
+    colors = _refine_colors(pattern)
+    classes: dict[Hashable, list[int]] = {}
+    for node in sorted(pattern.nodes()):
+        classes.setdefault(colors[node], []).append(node)
+    ordered_classes = [classes[color] for color in sorted(classes)]
+
+    total_orders = 1
+    for members in ordered_classes:
+        for k in range(2, len(members) + 1):
+            total_orders *= k
+        if total_orders > MAX_CANONICAL_ORDERS:
+            # Too symmetric for the exact step: stable id-ordered fallback
+            # (identical resubmissions still hit; renumbered clones miss).
+            order = tuple(sorted(pattern.nodes()))
+            return _encode(pattern, order), order
+
+    best_key, best_order = None, None
+    for arrangement in product(*(permutations(members)
+                                 for members in ordered_classes)):
+        order = tuple(node for members in arrangement for node in members)
+        key = _encode(pattern, order)
+        if best_key is None or key < best_key:
+            best_key, best_order = key, order
+    return best_key, best_order
+
+
+class PlanCache:
+    """LRU cache for prepared plans, keyed on canonical pattern form +
+    semantics.
+
+    Values are opaque to the cache (the engine stores the canonical node
+    order together with the compiled plan). Hit/miss/eviction counters are
+    kept here and surfaced through the engine's
+    :class:`~repro.accounting.AccessStats`.
+
+    A cache may be shared between engines **only** when they serve the
+    same access schema — plans compiled for one schema are meaningless
+    under another.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, validate=None):
+        """Return the cached value (refreshing recency) or None.
+
+        ``validate``, when given, is a predicate on the stored value; an
+        entry that fails it is dropped and counted as a miss (used by the
+        engine for schema-staleness checks, so hit/miss counters reflect
+        whether a compilation was actually avoided).
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        if validate is not None and not validate(value):
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True if it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> Iterable[Hashable]:
+        """Keys from least to most recently used (eviction order)."""
+        return iter(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict:
+        """Counters in one dict (mirrors ``functools.lru_cache``)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._entries),
+                "maxsize": self.maxsize}
+
+    def __repr__(self) -> str:
+        return (f"PlanCache(size={len(self._entries)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,406 @@
+"""The ``QueryEngine`` session facade: compile once, serve many.
+
+The seed library exposed bounded evaluation as loose pieces — build a
+:class:`~repro.constraints.index.SchemaIndex`, run EBChk, generate a plan,
+execute it — and every entry point re-paid the expensive parts per call.
+The engine owns one graph snapshot plus one schema index and amortizes
+everything that does not depend on the data graph:
+
+* ``prepare(pattern, semantics)`` runs EBChk + QPlan once per canonical
+  pattern form and caches the compiled plan in an LRU
+  :class:`~repro.engine.cache.PlanCache`;
+* ``query(...)`` is prepare + execute + match in one call, with the last
+  answer of each prepared query reused until the graph changes;
+* ``query_batch(...)`` serves multi-query workloads, executing each
+  distinct query once per batch;
+* a frozen session (the default) snapshots the graph into CSR form
+  (:class:`~repro.graph.frozen.FrozenGraph`) and builds the compact
+  read-only :class:`~repro.constraints.index.FrozenConstraintIndex`
+  variant; a mutable session instead wraps
+  :class:`~repro.constraints.maintenance.MaintainedSchemaIndex` so
+  ``apply(delta)`` repairs indexes locally and invalidates cached
+  answers (plans survive — they depend on ``Q`` and ``A`` only).
+
+See DESIGN.md ("The QueryEngine session") for the lifecycle and cache
+keying details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.accounting import AccessStats
+from repro.constraints.maintenance import MaintainedSchemaIndex, MaintenanceReport
+from repro.constraints.schema import AccessSchema
+from repro.core.actualized import SEMANTICS, SIMULATION, SUBGRAPH
+from repro.core.executor import MODE_PLAN, ExecutionResult, execute_plan
+from repro.core.plan import EdgeCheck, FetchOp, QueryPlan
+from repro.core.qplan import generate_plan
+from repro.engine.cache import PlanCache, pattern_fingerprint
+from repro.errors import EngineError, NotEffectivelyBounded
+from repro.graph.delta import GraphDelta
+from repro.graph.frozen import FrozenGraph
+from repro.graph.graph import Graph, GraphView
+from repro.matching.bounded import BoundedRun
+from repro.matching.simulation import simulate
+from repro.matching.vf2 import find_matches
+
+
+@dataclass
+class _CacheEntry:
+    """What the plan cache stores per (canonical pattern, semantics).
+
+    ``order`` is the canonical node order of the pattern the plan was
+    compiled for; together with the canonical order of an incoming
+    isomorphic pattern it yields the node translation that makes the
+    cached plan reusable. ``error`` carries a cached negative verdict
+    (the query is not effectively bounded) so EBChk is not re-run either.
+    ``schema``/``schema_size`` record which schema the verdict was
+    reached under: an entry from a different schema object is a miss
+    (shared-cache protection), and a negative verdict is also a miss
+    once the schema has grown (an M-bounded extension via
+    ``schema_index.add_constraint`` may have made the query bounded).
+    The cache never stores anything graph- or session-bound.
+    """
+
+    order: tuple[int, ...]
+    schema: AccessSchema
+    schema_size: int
+    plan: QueryPlan | None = None
+    error: NotEffectivelyBounded | None = None
+
+    def usable_by(self, schema: AccessSchema) -> bool:
+        if self.schema is not schema:
+            return False
+        if self.error is not None and self.schema_size != len(schema):
+            return False
+        return True
+
+
+class PreparedQuery:
+    """A compiled query bound to one engine session.
+
+    Holds the pattern, semantics, and worst-case-optimal plan; executing
+    it fetches ``G_Q`` through the session's indexes. The last computed
+    answer is cached and served until the session's graph generation
+    changes (see :meth:`QueryEngine.apply`).
+    """
+
+    __slots__ = ("engine", "pattern", "semantics", "plan",
+                 "_run", "_run_generation")
+
+    def __init__(self, engine: "QueryEngine", pattern, semantics: str,
+                 plan: QueryPlan):
+        self.engine = engine
+        self.pattern = pattern
+        self.semantics = semantics
+        self.plan = plan
+        self._run: BoundedRun | None = None
+        self._run_generation = -1
+
+    def execute(self, stats: AccessStats | None = None,
+                edge_mode: str = MODE_PLAN) -> ExecutionResult:
+        """Fetch ``G_Q`` (node + edge phases) without matching."""
+        run_stats = AccessStats()
+        execution = execute_plan(self.plan, self.engine.schema_index,
+                                 stats=run_stats, edge_mode=edge_mode)
+        self.engine._account(run_stats, stats)
+        return execution
+
+    def run(self, stats: AccessStats | None = None,
+            refresh: bool = False) -> BoundedRun:
+        """Execute and match; ``Q(G_Q) = Q(G)`` so the answer is exact.
+
+        The previous answer is reused when the graph has not changed since
+        it was computed — unless ``refresh=True`` forces re-execution or
+        ``stats`` is given (callers asking for access accounting want a
+        real run, not a memoized answer).
+        """
+        if (not refresh and stats is None and self._run is not None
+                and self._run_generation == self.engine.generation):
+            return self._run
+        run_stats = AccessStats()
+        execution = execute_plan(self.plan, self.engine.schema_index,
+                                 stats=run_stats)
+        if self.semantics == SUBGRAPH:
+            answer = find_matches(self.pattern, execution.gq,
+                                  candidates=execution.candidates)
+        else:
+            answer = simulate(self.pattern, execution.gq,
+                              candidates=execution.candidates)
+        run = BoundedRun(answer=answer, execution=execution)
+        self._run = run
+        self._run_generation = self.engine.generation
+        self.engine._account(run_stats, stats)
+        return run
+
+    @property
+    def worst_case_total_accessed(self) -> float:
+        """The plan's access envelope — a function of ``Q`` and ``A`` only."""
+        return self.plan.worst_case_total_accessed
+
+    def __repr__(self) -> str:
+        return (f"PreparedQuery({self.pattern.name or 'pattern'!r}, "
+                f"semantics={self.semantics!r}, ops={len(self.plan.ops)})")
+
+
+class QueryEngine:
+    """One graph snapshot + one schema index, serving repeated queries.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import imdb_like
+    >>> from repro.pattern import parse_pattern
+    >>> graph, schema = imdb_like(scale=0.02)
+    >>> engine = QueryEngine.open(graph, schema)
+    >>> q = parse_pattern("m: movie; y: year; m -> y")
+    >>> first = engine.query(q)
+    >>> again = engine.query(q)          # plan cache hit, answer reused
+    >>> engine.stats.plan_cache_hits
+    1
+
+    Parameters
+    ----------
+    frozen:
+        Snapshot the graph into CSR form and build compact read-only
+        indexes (the default; fastest for query-serving sessions).
+        ``frozen=False`` keeps the mutable graph and enables
+        :meth:`apply` for incremental updates.
+    validate:
+        Verify ``G |= A`` (cardinality bounds) after the index build.
+    cache_size:
+        LRU capacity of the private plan cache.
+    plan_cache:
+        Share an existing :class:`PlanCache` between sessions serving the
+        **same schema** (e.g. several snapshots of a growing graph).
+    """
+
+    def __init__(self, graph: GraphView, schema: AccessSchema, *,
+                 frozen: bool = True, validate: bool = False,
+                 cache_size: int = 128, plan_cache: PlanCache | None = None):
+        self.schema = schema
+        self.frozen = frozen
+        self.stats = AccessStats()
+        self._cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
+        # Session-local PreparedQuery memo (LRU): keeps answer memoization
+        # across re-prepares without the (sharable) plan cache pinning
+        # this session's graph snapshot and answers.
+        self._prepared = PlanCache(cache_size)
+        self._generation = 0
+        if frozen:
+            snapshot = graph if isinstance(graph, FrozenGraph) \
+                else FrozenGraph.from_graph(graph)
+            self._graph: GraphView = snapshot
+            self._maintained: MaintainedSchemaIndex | None = None
+            from repro.constraints.index import SchemaIndex
+            self._schema_index = SchemaIndex(snapshot, schema, frozen=True,
+                                             validate=validate)
+        else:
+            if not isinstance(graph, Graph):
+                raise EngineError(
+                    "a mutable engine session requires a mutable Graph "
+                    f"(got {type(graph).__name__}); use frozen=True for "
+                    "read-only views")
+            self._maintained = MaintainedSchemaIndex(graph, schema)
+            self._graph = graph
+            self._schema_index = self._maintained.schema_index
+            if validate:
+                self._schema_index.validate()
+
+    @classmethod
+    def open(cls, graph: GraphView, schema: AccessSchema, *,
+             frozen: bool = True, validate: bool = False,
+             cache_size: int = 128,
+             plan_cache: PlanCache | None = None) -> "QueryEngine":
+        """Open a query-serving session over ``graph`` under ``schema``."""
+        return cls(graph, schema, frozen=frozen, validate=validate,
+                   cache_size=cache_size, plan_cache=plan_cache)
+
+    # -- session state ---------------------------------------------------------
+    @property
+    def graph(self) -> GraphView:
+        """The graph being served (the CSR snapshot when frozen)."""
+        return self._graph
+
+    @property
+    def schema_index(self):
+        """The session's :class:`~repro.constraints.index.SchemaIndex`."""
+        return self._schema_index
+
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`apply`; cached answers are per-generation."""
+        return self._generation
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._cache
+
+    def cache_info(self) -> dict:
+        """Plan-cache counters (hits/misses/evictions/size/maxsize)."""
+        return self._cache.info()
+
+    # -- compilation ---------------------------------------------------------------
+    def prepare(self, pattern, semantics: str = SUBGRAPH) -> PreparedQuery:
+        """Compile ``pattern`` once: EBChk + QPlan, cached by canonical
+        pattern form + semantics.
+
+        Raises :class:`~repro.errors.NotEffectivelyBounded` (also served
+        from cache) when the query is not effectively bounded.
+        """
+        if semantics not in SEMANTICS:
+            raise EngineError(f"unknown semantics {semantics!r}; "
+                              f"expected one of {SEMANTICS}")
+        key, order = pattern_fingerprint(pattern)
+        cache_key = (key, semantics)
+        entry = self._cache.get(cache_key,
+                                validate=lambda e: e.usable_by(self.schema))
+        if entry is not None:
+            self.stats.record_cache_hit()
+            return self._from_entry(entry, cache_key, pattern, order,
+                                    semantics)
+        self.stats.record_cache_miss()
+        try:
+            plan = generate_plan(pattern, self.schema, semantics)
+        except NotEffectivelyBounded as exc:
+            self._cache.put(cache_key, _CacheEntry(
+                order=order, schema=self.schema,
+                schema_size=len(self.schema), error=exc))
+            raise
+        prepared = PreparedQuery(self, pattern, semantics, plan)
+        self._cache.put(cache_key, _CacheEntry(
+            order=order, schema=self.schema,
+            schema_size=len(self.schema), plan=plan))
+        self._prepared.put((cache_key, order), (plan, prepared))
+        return prepared
+
+    def _from_entry(self, entry: _CacheEntry, cache_key, pattern,
+                    order: tuple[int, ...], semantics: str) -> PreparedQuery:
+        """Rebind a cached compilation to (a possibly renumbered copy of)
+        the pattern it was compiled for."""
+        mapping = dict(zip(entry.order, order))
+        if entry.error is not None:
+            # Always a fresh exception: re-raising the cached instance
+            # would grow its traceback and share mutable state across
+            # callers.
+            raise NotEffectivelyBounded(
+                str(entry.error),
+                uncovered_nodes=[mapping.get(u, u)
+                                 for u in entry.error.uncovered_nodes],
+                uncovered_edges=[(mapping.get(u, u), mapping.get(v, v))
+                                 for u, v in entry.error.uncovered_edges])
+        # Session-local memo, keyed by the incoming numbering too: a
+        # renumbered resubmission reuses its own PreparedQuery (and its
+        # answer memo) just like an identical one. The source plan is
+        # stored alongside to detect staleness after a cache overwrite.
+        memoized = self._prepared.get((cache_key, order))
+        if memoized is not None and memoized[0] is entry.plan:
+            return memoized[1]
+        identity = all(old == new for old, new in mapping.items())
+        plan = entry.plan if identity \
+            else _remap_plan(entry.plan, mapping, pattern)
+        prepared = PreparedQuery(self, pattern, semantics, plan)
+        self._prepared.put((cache_key, order), (entry.plan, prepared))
+        return prepared
+
+    # -- evaluation -------------------------------------------------------------------
+    def query(self, pattern, semantics: str = SUBGRAPH, *,
+              stats: AccessStats | None = None,
+              refresh: bool = False) -> BoundedRun:
+        """Prepare + execute + match in one call."""
+        return self.prepare(pattern, semantics).run(stats=stats,
+                                                    refresh=refresh)
+
+    def query_batch(self, patterns: Iterable, semantics: str = SUBGRAPH, *,
+                    stats: AccessStats | None = None) -> list[BoundedRun]:
+        """Serve a workload in one go, amortizing compilation *and*
+        execution: each distinct (canonical pattern, semantics) in the
+        batch is planned at most once and executed at most once.
+
+        ``patterns`` items are :class:`~repro.pattern.pattern.Pattern`
+        objects or ``(pattern, semantics)`` pairs overriding the default
+        semantics. Results line up with the input order.
+        """
+        requests: list[tuple[object, str]] = []
+        for item in patterns:
+            if isinstance(item, tuple):
+                pattern, item_semantics = item
+                requests.append((pattern, item_semantics))
+            else:
+                requests.append((item, semantics))
+        results: list[BoundedRun] = []
+        batch_runs: dict[int, BoundedRun] = {}
+        for pattern, item_semantics in requests:
+            prepared = self.prepare(pattern, item_semantics)
+            run_key = id(prepared.plan)
+            run = batch_runs.get(run_key)
+            if run is None:
+                run = prepared.run(stats=stats)
+                batch_runs[run_key] = run
+            results.append(run)
+        return results
+
+    # -- updates --------------------------------------------------------------------
+    def apply(self, delta: GraphDelta) -> MaintenanceReport:
+        """Apply ΔG through the incremental-maintenance path.
+
+        Only mutable sessions support updates. Indexes are repaired
+        locally (inspecting ``ΔG ∪ Nb(ΔG)`` only) and the generation
+        counter is bumped, invalidating every cached *answer*. Cached
+        *plans* remain valid: they depend on ``Q`` and ``A``, not on the
+        graph.
+        """
+        if self._maintained is None:
+            raise EngineError(
+                "cannot apply updates to a frozen engine session; open "
+                "with frozen=False for incremental maintenance")
+        report = self._maintained.apply(delta)
+        self._generation += 1
+        return report
+
+    # -- internals ----------------------------------------------------------------
+    def _account(self, run_stats: AccessStats,
+                 caller_stats: AccessStats | None) -> None:
+        """Fold one execution's accounting into the session totals and,
+        when given, the caller's recorder."""
+        self.stats.merge(run_stats)
+        if caller_stats is not None and caller_stats is not self.stats:
+            caller_stats.merge(run_stats)
+
+    def __repr__(self) -> str:
+        kind = "frozen" if self.frozen else "mutable"
+        return (f"QueryEngine({kind}, graph={self._graph!r}, "
+                f"constraints={len(self.schema)}, cache={self._cache!r})")
+
+
+def _remap_plan(plan: QueryPlan, mapping: dict[int, int],
+                pattern) -> QueryPlan:
+    """Translate a cached plan onto an isomorphic, renumbered pattern.
+
+    ``mapping`` sends node ids of the plan's pattern to ids of ``pattern``
+    (derived from the two canonical orders, so it is an isomorphism); plan
+    validity is preserved because plans depend only on pattern structure
+    and the schema.
+    """
+    remapped = QueryPlan(pattern=pattern, schema=plan.schema,
+                         semantics=plan.semantics)
+    for op in plan.ops:
+        target = mapping[op.target]
+        remapped.ops.append(FetchOp(
+            target=target,
+            source_nodes=tuple(mapping[v] for v in op.source_nodes),
+            constraint=op.constraint,
+            predicate=pattern.predicate_of(target),
+            fetch_bound=op.fetch_bound,
+            size_bound=op.size_bound))
+    for check in plan.edge_checks:
+        remapped.edge_checks.append(EdgeCheck(
+            edge=(mapping[check.edge[0]], mapping[check.edge[1]]),
+            mode=check.mode,
+            fetch_target=(None if check.fetch_target is None
+                          else mapping[check.fetch_target]),
+            source_nodes=tuple(mapping[v] for v in check.source_nodes),
+            constraint=check.constraint,
+            cost_bound=check.cost_bound))
+    return remapped

@@ -87,6 +87,11 @@ class DiscoveryError(ReproError):
     """Raised when constraint discovery is asked for something impossible."""
 
 
+class EngineError(ReproError):
+    """Raised for invalid :class:`repro.engine.engine.QueryEngine` usage
+    (e.g. applying updates to a frozen session)."""
+
+
 class MatchTimeout(ReproError):
     """Raised when a matcher exceeds its time budget.
 

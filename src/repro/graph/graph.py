@@ -280,13 +280,16 @@ class Graph(GraphView):
         out = self._out.get(source)
         return out is not None and target in out
 
-    def nodes_with_label(self, label: str) -> set[int]:
-        return self._by_label.get(label, set())
+    def nodes_with_label(self, label: str) -> frozenset[int]:
+        # A frozen copy, not the internal ``_by_label`` bucket: handing out
+        # the live set would let callers corrupt the label index.
+        return frozenset(self._by_label.get(label, ()))
 
     def label_count(self, label: str) -> int:
         return len(self._by_label.get(label, ()))
 
     def labels(self) -> set[str]:
+        # Already a copy — mutating the result cannot touch ``_by_label``.
         return set(self._by_label.keys())
 
     @property

@@ -54,14 +54,20 @@ def simulate(pattern: Pattern, graph: GraphView,
             return {}
 
     # Counters: per pattern edge (u, u') and candidate v of u, how many
-    # successors of v remain in sim(u').
+    # successors of v remain in sim(u'). Every counter is initialized
+    # against a frozen snapshot of the *initial* sim sets: init-time
+    # evictions go through the same propagation queue as fixpoint
+    # evictions, so each is subtracted exactly once. (Counting against
+    # the live, already-shrunk sets would let the queue double-subtract
+    # nodes the counter never included.)
     pattern_edges = list(pattern.edges())
+    initial = {u: frozenset(s) for u, s in sim.items()}
     counters: dict[tuple[int, int, int], int] = {}
     removals: list[tuple[int, int]] = []  # (pattern node, evicted data node)
 
     initialized = 0
     for (u, u_child) in pattern_edges:
-        child_set = sim[u_child]
+        child_set = initial[u_child]
         for v in list(sim[u]):
             initialized += 1
             if timeout is not None and initialized % 4096 == 0:

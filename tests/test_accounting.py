@@ -61,4 +61,5 @@ class TestAccessStats:
         assert payload["total_accessed"] == 1
         assert set(payload) == {"nodes_fetched", "edges_checked",
                                 "index_fetches", "distinct_nodes",
-                                "total_accessed"}
+                                "total_accessed", "plan_cache_hits",
+                                "plan_cache_misses"}

@@ -161,3 +161,39 @@ class TestHelpers:
         assert simulation_holds(p, g, {pa: {a}})
         b = g.add_node("B")
         assert not simulation_holds(p, g, {pa: {b}})
+
+
+class TestCounterInitializationOrder:
+    def test_init_time_evictions_not_double_subtracted(self):
+        """Regression (hypothesis-discovered): counters must be seeded
+        against the *initial* sim sets. Counting against sets already
+        shrunk by earlier pattern edges let the propagation queue
+        double-subtract init-time evictions, wrongly emptying sim sets.
+
+        Here sim(u1) loses node 13 while edge (u1, u0) is initialized;
+        node 8's counter for edge (u2, u1) must not be decremented for
+        that earlier eviction (8 -> 13 exists, but 13 was never counted).
+        """
+        g = Graph()
+        labels = {0: "L0", 1: "L0", 2: "L1", 3: "L2", 4: "L1", 5: "L0",
+                  6: "L1", 7: "L3", 8: "L2", 9: "L3", 10: "L2", 11: "L0",
+                  12: "L3", 13: "L3"}
+        for node, label in labels.items():
+            g.add_node(label, node_id=node)
+        for edge in [(0, 2), (2, 8), (5, 2), (5, 12), (5, 13), (6, 11),
+                     (7, 2), (7, 4), (7, 8), (7, 10), (7, 12), (8, 2),
+                     (8, 3), (8, 5), (8, 10), (8, 12), (8, 13), (9, 5),
+                     (12, 6)]:
+            g.add_edge(*edge)
+
+        p = Pattern()
+        u0 = p.add_node("L1")
+        u1 = p.add_node("L3")
+        u2 = p.add_node("L2")
+        p.add_edge(u1, u0)
+        p.add_edge(u2, u1)
+
+        relation = simulate(p, g)
+        expected = {u0: {2, 4, 6}, u1: {7, 12}, u2: {8}}
+        assert relation == expected
+        assert simulation_holds(p, g, relation)
