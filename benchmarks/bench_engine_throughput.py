@@ -72,9 +72,16 @@ def test_engine_throughput(benchmark, bench_scale):
 
 
 def main() -> None:
+    import os
+
     rows = run(scale=0.05)
     print(render_table(rows, title="Engine throughput (imdb, scale=0.05): "
                                    "queries/sec"))
+    # CI sets REPRO_BENCH_SKIP_CHECK=1 and gates on check_regression.py
+    # instead, so the 'perf-regression-ok' override label stays usable.
+    if os.environ.get("REPRO_BENCH_SKIP_CHECK"):
+        print("skipping in-script checks (REPRO_BENCH_SKIP_CHECK set)")
+        return
     check(rows)
 
 

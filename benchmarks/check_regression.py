@@ -1,0 +1,115 @@
+"""CI benchmark-regression gate.
+
+Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``
+and ``benchmarks/bench_warm_start.py`` (under ``.benchmarks/``) against
+the committed floors in ``benchmarks/baselines.json`` and exits
+non-zero when any metric drops more than ``TOLERANCE`` below its
+baseline.
+
+Intentional perf changes: update ``baselines.json`` in the same PR and
+apply the ``perf-regression-ok`` label, which makes the workflow skip
+this check (the results are still uploaded as a CI artifact either way).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [--results-dir .benchmarks] [--baselines benchmarks/baselines.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop below a baseline before the gate fails.
+TOLERANCE = 0.30
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: missing results file {path} — did the benchmark "
+              f"step run?", file=sys.stderr)
+        sys.exit(2)
+    except ValueError as exc:
+        print(f"error: unreadable {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def current_metrics(results_dir: Path) -> dict:
+    """Flatten the benchmark JSON files into {suite: {metric: value}}."""
+    throughput = _load(results_dir / "engine_throughput.json")
+    by_mode = {row["mode"]: row for row in throughput["rows"]}
+    warm = _load(results_dir / "warm_start.json")
+    warm_by_mode = {row["mode"]: row for row in warm["rows"]}
+    return {
+        "engine_throughput": {
+            "prepared_qps": by_mode["prepared"]["qps"],
+            "batched_qps": by_mode["batched"]["qps"],
+        },
+        "warm_start": {
+            "open_speedup": warm_by_mode["warm_open"]["open_speedup"],
+            "prepare_speedup":
+                warm_by_mode["prepared_reuse"]["prepare_speedup"],
+        },
+    }
+
+
+def compare(baselines: dict, current: dict) -> list[dict]:
+    """One row per metric; ``ok`` is False for a >TOLERANCE drop."""
+    rows = []
+    for suite, metrics in baselines.items():
+        if suite.startswith("_"):
+            continue
+        for metric, floor in metrics.items():
+            if metric.startswith("_"):
+                continue
+            value = current.get(suite, {}).get(metric)
+            threshold = floor * (1.0 - TOLERANCE)
+            ok = value is not None and value >= threshold
+            rows.append({"suite": suite, "metric": metric,
+                         "baseline": floor, "threshold": threshold,
+                         "current": value, "ok": ok})
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", type=Path,
+                        default=_REPO_ROOT / ".benchmarks")
+    parser.add_argument("--baselines", type=Path,
+                        default=_REPO_ROOT / "benchmarks" / "baselines.json")
+    args = parser.parse_args(argv)
+
+    baselines = _load(args.baselines)
+    rows = compare(baselines, current_metrics(args.results_dir))
+
+    width = max(len(f"{r['suite']}.{r['metric']}") for r in rows)
+    failed = False
+    for row in rows:
+        name = f"{row['suite']}.{row['metric']}"
+        verdict = "ok" if row["ok"] else "REGRESSION"
+        failed = failed or not row["ok"]
+        current = "missing" if row["current"] is None \
+            else f"{row['current']:.1f}"
+        print(f"{name:<{width}}  baseline {row['baseline']:>8.1f}  "
+              f"floor {row['threshold']:>8.1f}  current {current:>8}  "
+              f"[{verdict}]")
+    if failed:
+        print(f"\nbenchmark regression: a metric dropped >"
+              f"{TOLERANCE:.0%} below benchmarks/baselines.json. If this "
+              f"change is intentional, update the baselines in this PR "
+              f"and apply the 'perf-regression-ok' label.",
+              file=sys.stderr)
+        return 1
+    print("\nall benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ def main() -> None:
 
     # 1. Profile: small labels and tight label pairs.
     histogram = label_histogram(graph)
-    small = {l: c for l, c in histogram.items() if c <= 150}
+    small = {label: c for label, c in histogram.items() if c <= 150}
     print(f"\nlabels with <= 150 nodes (type (1) candidates): {small}")
     tight = [(pair, summary.maximum)
              for pair, summary in label_pair_degrees(graph).items()

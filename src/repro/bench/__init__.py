@@ -22,6 +22,7 @@ from repro.bench.harness import (
     fig5_varying_q,
     fig6_instance_bounded,
     timed,
+    warm_start,
 )
 from repro.bench.reporting import render_series, render_table
 
@@ -39,6 +40,7 @@ __all__ = [
     "fig5_varying_q",
     "fig6_instance_bounded",
     "timed",
+    "warm_start",
     "render_series",
     "render_table",
 ]

@@ -13,6 +13,8 @@ fig5_index_size           Fig. 5(d,h,l) — accessed data / index size vs #n
 fig6_instance_bounded     Fig. 6(a,b) — minimum M vs % instance-bounded
 exp3_algorithm_times      Expt-3 — EBChk/QPlan/sEBChk/sQPlan latency
 engine_throughput         (new) cold vs prepared vs batched queries/sec
+warm_start                (new) cold build vs artifact warm-open vs
+                          prepared-plan reuse (repro.engine.persist)
 ========================  =====================================
 
 Bounded evaluation goes through :class:`~repro.engine.engine.QueryEngine`
@@ -37,7 +39,7 @@ from repro.core.ebchk import is_effectively_bounded
 from repro.core.instance import min_m_for_fraction
 from repro.core.qplan import generate_plan
 from repro.engine import PlanCache, QueryEngine
-from repro.errors import MatchTimeout
+from repro.errors import BenchmarkError, MatchTimeout
 from repro.matching.optimized import opt_gsim, opt_vf2
 from repro.matching.simulation import simulate
 from repro.matching.vf2 import find_matches
@@ -314,10 +316,89 @@ def fig6_instance_bounded(dataset: str, fractions=(0.6, 0.7, 0.8, 0.9, 0.95, 1.0
     return rows
 
 
+# ----------------------------------------------------------- warm start
+def warm_start(dataset: str = "imdb", scale: float = 0.05,
+               distinct: int = 8, opens: int = 3,
+               artifact: str | None = None, seed: int = 42) -> list[dict]:
+    """Cold build vs warm artifact open vs prepared-plan reuse.
+
+    Measures the three lifecycle costs a persistent artifact amortizes:
+
+    * ``cold_build`` — ``QueryEngine.open`` (snapshot + index build) plus
+      EBChk/QPlan for ``distinct`` bounded patterns — what every process
+      paid before artifacts existed;
+    * ``save`` — one-time cost of writing the artifact;
+    * ``warm_open`` — ``QueryEngine.open_path`` (best of ``opens`` runs:
+      checksum + zero-copy buffer adoption, lazy index decode);
+    * ``prepared_reuse`` — re-preparing the same patterns on the loaded
+      engine, which must be pure plan-cache hits.
+
+    ``artifact`` persists the snapshot at that path (reused by CI to
+    chain into CLI runs); by default a temporary directory is used.
+    Rows are JSON-serializable (``benchmarks/bench_warm_start.py``).
+    """
+    import tempfile
+    from contextlib import ExitStack
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    queries = _bounded_queries(pool, schema, SUBGRAPH, distinct)
+
+    cold_open_s = None
+    for _ in range(opens):
+        start = time.perf_counter()
+        engine = QueryEngine.open(graph, schema)
+        elapsed = time.perf_counter() - start
+        cold_open_s = elapsed if cold_open_s is None else min(cold_open_s,
+                                                              elapsed)
+    start = time.perf_counter()
+    for query in queries:
+        engine.prepare(query)
+    cold_prepare_s = time.perf_counter() - start
+
+    with ExitStack() as stack:
+        if artifact is None:
+            artifact = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-artifact-"))
+        start = time.perf_counter()
+        manifest = engine.save(artifact)
+        save_s = time.perf_counter() - start
+        artifact_bytes = sum(meta["bytes"]
+                             for meta in manifest["files"].values())
+
+        warm_open_s = None
+        for _ in range(opens):
+            start = time.perf_counter()
+            warm = QueryEngine.open_path(artifact)
+            elapsed = time.perf_counter() - start
+            warm_open_s = elapsed if warm_open_s is None else min(warm_open_s,
+                                                                  elapsed)
+        start = time.perf_counter()
+        for query in queries:
+            warm.prepare(query)
+        warm_prepare_s = time.perf_counter() - start
+        plan_hits = warm.stats.plan_cache_hits
+
+    return [
+        {"mode": "cold_build", "seconds": cold_open_s,
+         "prepare_seconds": cold_prepare_s, "queries": len(queries),
+         "open_speedup": 1.0},
+        {"mode": "save", "seconds": save_s, "artifact_bytes": artifact_bytes,
+         "cached_plans": manifest["plans"]["entries"]},
+        {"mode": "warm_open", "seconds": warm_open_s,
+         "open_speedup": cold_open_s / warm_open_s if warm_open_s else None},
+        {"mode": "prepared_reuse", "seconds": warm_prepare_s,
+         "queries": len(queries), "plan_cache_hits": plan_hits,
+         "prepare_speedup": (cold_prepare_s / warm_prepare_s
+                             if warm_prepare_s else None)},
+    ]
+
+
 # ------------------------------------------------------- engine throughput
 def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
                       distinct: int = 10, repeats: int = 5,
-                      semantics: str = SUBGRAPH, seed: int = 42) -> list[dict]:
+                      semantics: str = SUBGRAPH, seed: int = 42,
+                      artifact: str | None = None) -> list[dict]:
     """Queries/sec for the three ways of serving a repeated workload.
 
     The workload is ``distinct`` effectively bounded patterns, each asked
@@ -332,6 +413,12 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
     * ``batched`` — ``query_batch`` on a fresh session: plans compiled
       once per pattern *and* each distinct query executed once per batch.
 
+    With ``artifact`` given (a directory compiled from the **same**
+    dataset and scale, e.g. by ``repro compile``), the prepared and
+    batched sessions warm-start from it via ``open_path`` instead of
+    building; the cold row still builds from scratch, so the comparison
+    shows what the on-disk snapshot buys a serving process.
+
     Rows are JSON-serializable so benchmark runs leave a comparable
     perf trajectory (see ``benchmarks/bench_engine_throughput.py``).
     """
@@ -339,6 +426,20 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
     pool = get_workload(dataset, scale, count=200, seed=seed)
     queries = _bounded_queries(pool, schema, semantics, distinct)
     workload = list(queries) * repeats
+
+    def open_serving_engine() -> QueryEngine:
+        if artifact is not None:
+            engine = QueryEngine.open_path(artifact)
+            if (engine.graph.num_nodes != graph.num_nodes
+                    or engine.graph.num_edges != graph.num_edges):
+                raise BenchmarkError(
+                    f"artifact {artifact} ({engine.graph.num_nodes} nodes, "
+                    f"{engine.graph.num_edges} edges) does not match "
+                    f"{dataset}@{scale} ({graph.num_nodes} nodes, "
+                    f"{graph.num_edges} edges); compile it from the same "
+                    f"dataset and scale")
+            return engine
+        return QueryEngine.open(graph, schema)
 
     rows = []
 
@@ -352,7 +453,7 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
                  "qps": len(queries) / cold_seconds,
                  "plan_cache_hits": 0})
 
-    warm_engine = QueryEngine.open(graph, schema)
+    warm_engine = open_serving_engine()
     for query in queries:
         warm_engine.prepare(query, semantics)
     start = time.perf_counter()
@@ -364,7 +465,7 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
                  "qps": len(workload) / prepared_seconds,
                  "plan_cache_hits": warm_engine.stats.plan_cache_hits})
 
-    batch_engine = QueryEngine.open(graph, schema)
+    batch_engine = open_serving_engine()
     start = time.perf_counter()
     batch_engine.query_batch(workload, semantics)
     batched_seconds = time.perf_counter() - start

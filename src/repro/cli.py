@@ -5,12 +5,20 @@ Subcommands::
     repro check    --pattern q.pat --schema a.json [--semantics simulation]
     repro plan     --pattern q.pat --schema a.json [--semantics simulation]
     repro run      --graph g.tsv --pattern q.pat --schema a.json
+    repro run      --artifact art/ --pattern q.pat      # warm start
+    repro compile  --graph g.tsv --schema a.json --out art/ [--pattern q.pat]
+    repro compile  --dataset imdb --scale 0.05 --out art/
+    repro compile  --inspect art/                       # artifact metadata
     repro generate --dataset imdb --scale 0.05 --out prefix
-    repro bench    --experiment exp1 [--dataset imdb] [--scale 0.05]
+    repro bench    --experiment exp1 [--experiment ...] [--dataset imdb]
+                   [--scale 0.05] [--artifact art/]
 
 Patterns use the text DSL of :mod:`repro.pattern.dsl`; schemas are the
 JSON documents of :meth:`repro.constraints.schema.AccessSchema.save`;
-graphs are the TSV/JSON formats of :mod:`repro.graph.io`.
+graphs are the TSV/JSON formats of :mod:`repro.graph.io`; artifacts are
+the compiled snapshot directories of :mod:`repro.engine.persist`.
+``--experiment`` may repeat: one process then serves every experiment
+from one memoized dataset build (what the CI smoke run does).
 """
 
 from __future__ import annotations
@@ -64,9 +72,17 @@ def _cmd_plan(args) -> int:
 
 def _cmd_run(args) -> int:
     pattern = _load_pattern(args.pattern)
-    schema = AccessSchema.load(args.schema)
-    graph = _load_graph(args.graph)
-    engine = QueryEngine.open(graph, schema, validate=args.validate)
+    if args.artifact:
+        engine = QueryEngine.open_path(args.artifact, validate=args.validate)
+    elif args.graph and args.schema:
+        schema = AccessSchema.load(args.schema)
+        graph = _load_graph(args.graph)
+        engine = QueryEngine.open(graph, schema, validate=args.validate)
+    else:
+        print("run requires either --artifact or both --graph and --schema",
+              file=sys.stderr)
+        return 2
+    graph = engine.graph
     try:
         run = engine.query(pattern, args.semantics)
     except NotEffectivelyBounded as exc:
@@ -85,6 +101,48 @@ def _cmd_run(args) -> int:
     stats = run.stats.as_dict()
     print(f"accessed: {stats['total_accessed']} items of |G| = {graph.size} "
           f"({stats['index_fetches']} index fetches)")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.engine import inspect_artifact, render_inspection
+
+    if args.inspect:
+        print(render_inspection(inspect_artifact(args.inspect)))
+        return 0
+    if not args.out:
+        print("compile requires --out (or --inspect ARTIFACT)",
+              file=sys.stderr)
+        return 2
+    if args.graph and args.schema:
+        schema = AccessSchema.load(args.schema)
+        graph = _load_graph(args.graph)
+    elif args.dataset:
+        from repro.bench.datasets import get_dataset
+        graph, schema = get_dataset(args.dataset, args.scale, seed=args.seed)
+    else:
+        print("compile requires either --graph and --schema, or --dataset",
+              file=sys.stderr)
+        return 2
+    engine = QueryEngine.open(graph, schema, validate=args.validate)
+    compiled = 0
+    for pattern_path in args.pattern or ():
+        pattern = _load_pattern(pattern_path)
+        try:
+            engine.prepare(pattern, args.semantics)
+            compiled += 1
+        except NotEffectivelyBounded as exc:
+            # Cached as a negative verdict in the artifact; still useful.
+            print(f"note: {pattern_path} is not effectively bounded ({exc})",
+                  file=sys.stderr)
+    manifest = engine.save(args.out)
+    total_bytes = sum(meta["bytes"] for meta in manifest["files"].values())
+    print(f"compiled artifact {args.out}: "
+          f"{manifest['graph']['nodes']} nodes, "
+          f"{manifest['graph']['edges']} edges, "
+          f"{len(manifest['index'])} constraint indexes, "
+          f"{manifest['plans']['entries']} cached plans "
+          f"({compiled} compiled now), {total_bytes} bytes")
     return 0
 
 
@@ -124,6 +182,7 @@ def _cmd_bench(args) -> int:
         fig5_varying_q,
         fig6_instance_bounded,
         render_table,
+        warm_start,
     )
     per_dataset = {
         "fig5-varying-g": fig5_varying_g,
@@ -131,20 +190,33 @@ def _cmd_bench(args) -> int:
         "fig5-varying-a": fig5_varying_a,
         "fig5-index-size": fig5_index_size,
         "fig6-instance": fig6_instance_bounded,
-        "engine-throughput": engine_throughput,
     }
-    if args.experiment == "exp1":
-        rows = exp1_percentages(scale=args.scale)
-    elif args.experiment == "exp3":
-        rows = exp3_algorithm_times(scale=args.scale)
-    elif args.experiment in per_dataset:
-        rows = per_dataset[args.experiment](args.dataset, scale=args.scale)
-    else:
-        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
-        return 2
-    print(render_table(rows, title=f"{args.experiment} "
-                                   f"(dataset={args.dataset}, "
-                                   f"scale={args.scale})"))
+    #: Experiments that can serve from a compiled artifact (--artifact).
+    artifact_aware = {
+        "engine-throughput": engine_throughput,
+        "warm-start": warm_start,
+    }
+    experiments = args.experiment
+    known = {"exp1", "exp3", *per_dataset, *artifact_aware}
+    for name in experiments:
+        if name not in known:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+    # One process, one memoized dataset build: every experiment in the
+    # list shares the repro.bench.datasets caches (the CI smoke path).
+    for name in experiments:
+        if name == "exp1":
+            rows = exp1_percentages(scale=args.scale)
+        elif name == "exp3":
+            rows = exp3_algorithm_times(scale=args.scale)
+        elif name in artifact_aware:
+            rows = artifact_aware[name](args.dataset, scale=args.scale,
+                                        artifact=args.artifact)
+        else:
+            rows = per_dataset[name](args.dataset, scale=args.scale)
+        print(render_table(rows, title=f"{name} "
+                                       f"(dataset={args.dataset}, "
+                                       f"scale={args.scale})"))
     return 0
 
 
@@ -172,15 +244,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.set_defaults(func=_cmd_plan)
 
     p_run = sub.add_parser("run", help="evaluate a query with bounded access")
-    p_run.add_argument("--graph", required=True)
+    p_run.add_argument("--graph")
     p_run.add_argument("--pattern", required=True)
-    p_run.add_argument("--schema", required=True)
+    p_run.add_argument("--schema")
+    p_run.add_argument("--artifact",
+                       help="warm-start from a compiled artifact directory "
+                            "instead of --graph/--schema")
     p_run.add_argument("--limit", type=int, default=10,
                        help="max matches to print")
     p_run.add_argument("--validate", action="store_true",
                        help="verify G |= A before running")
     add_semantics(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_compile = sub.add_parser(
+        "compile", help="build a graph+schema into a persistent artifact")
+    p_compile.add_argument("--graph", help="graph file (TSV/JSON)")
+    p_compile.add_argument("--schema", help="schema JSON")
+    p_compile.add_argument("--dataset",
+                           help="generate this dataset stand-in instead of "
+                                "reading --graph/--schema")
+    p_compile.add_argument("--scale", type=float, default=0.05)
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument("--out", help="artifact output directory")
+    p_compile.add_argument("--pattern", action="append",
+                           help="pattern file to pre-compile into the "
+                                "artifact's plan cache (repeatable)")
+    p_compile.add_argument("--validate", action="store_true",
+                           help="verify G |= A before saving")
+    p_compile.add_argument("--inspect", metavar="ARTIFACT",
+                           help="print metadata of an existing artifact "
+                                "and exit (format version, graph stats, "
+                                "index sizes, cached plans, checksums)")
+    add_semantics(p_compile)
+    p_compile.set_defaults(func=_cmd_compile)
 
     p_gen = sub.add_parser("generate", help="emit a synthetic dataset")
     p_gen.add_argument("--dataset", required=True)
@@ -194,13 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--graph", required=True)
     p_profile.set_defaults(func=_cmd_profile)
 
-    p_bench = sub.add_parser("bench", help="run one paper experiment")
-    p_bench.add_argument("--experiment", required=True,
+    p_bench = sub.add_parser("bench", help="run paper experiments")
+    p_bench.add_argument("--experiment", required=True, action="append",
                          help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
                               " | fig5-varying-a | fig5-index-size"
-                              " | fig6-instance | engine-throughput")
+                              " | fig6-instance | engine-throughput"
+                              " | warm-start; repeatable — experiments in "
+                              "one invocation share one dataset build")
     p_bench.add_argument("--dataset", default="imdb")
     p_bench.add_argument("--scale", type=float, default=0.05)
+    p_bench.add_argument("--artifact",
+                         help="compiled artifact for artifact-aware "
+                              "experiments (engine-throughput, warm-start)")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -28,6 +28,7 @@ so they run on either variant unchanged.
 
 from __future__ import annotations
 
+from array import array
 from itertools import product
 from typing import Iterable, Sequence
 
@@ -236,15 +237,29 @@ class FrozenConstraintIndex(BaseConstraintIndex):
     tuples — no per-set hash-table overhead, and :meth:`fetch` returns the
     stored tuple without copying. The trade-off: no mutation, so no
     incremental maintenance (rebuild or use the mutable variant instead).
+
+    An instance created by :meth:`from_buffers` (the artifact warm-start
+    path) holds the flat int64 buffers and decodes them into the entry
+    dict **lazily on first access**, so opening an artifact pays only for
+    the constraints a workload actually touches.
     """
 
-    __slots__ = ("constraint", "_entries")
+    __slots__ = ("constraint", "_entry_data", "_raw_buffers")
 
     def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None):
         self.constraint = constraint
-        self._entries: dict[tuple[int, ...], tuple[int, ...]] = {}
+        self._entry_data: dict[tuple[int, ...], tuple[int, ...]] | None = {}
+        self._raw_buffers = None
         if graph is not None:
             self.build(graph)
+
+    @property
+    def _entries(self) -> dict[tuple[int, ...], tuple[int, ...]]:
+        entries = self._entry_data
+        if entries is None:
+            entries = self._entry_data = self._decode_buffers()
+            self._raw_buffers = None
+        return entries
 
     def build(self, graph: GraphView) -> "FrozenConstraintIndex":
         """Build the compact index from scratch over ``graph``."""
@@ -254,8 +269,9 @@ class FrozenConstraintIndex(BaseConstraintIndex):
                 staging.setdefault(key, set()).add(w)
         if self.constraint.is_type1:
             staging.setdefault((), set())
-        self._entries = {key: tuple(sorted(payload))
-                         for key, payload in staging.items()}
+        self._entry_data = {key: tuple(sorted(payload))
+                            for key, payload in staging.items()}
+        self._raw_buffers = None
         return self
 
     @classmethod
@@ -263,9 +279,67 @@ class FrozenConstraintIndex(BaseConstraintIndex):
                      entries: dict[tuple[int, ...], Iterable[int]]) -> "FrozenConstraintIndex":
         """Freeze an already-computed entry mapping (used by ``freeze``)."""
         frozen = cls(constraint)
-        frozen._entries = {key: tuple(sorted(payload))
-                           for key, payload in entries.items()}
+        frozen._entry_data = {key: tuple(sorted(payload))
+                              for key, payload in entries.items()}
         return frozen
+
+    # -- binary snapshot interface (repro.engine.persist) -----------------------
+    def to_buffers(self) -> dict:
+        """Flatten the entries into three int64 buffers.
+
+        ``keys`` holds the canonical key tuples concatenated (arity ints
+        per key, in sorted key order), ``payload_ptr`` is a CSR-style
+        offset array into ``payload``, which holds the concatenated
+        payload tuples. :meth:`from_buffers` is the exact inverse.
+        """
+        keys = array("q")
+        payload_ptr = array("q", [0])
+        payload = array("q")
+        entries = self._entries
+        for key in sorted(entries):
+            keys.extend(key)
+            payload.extend(entries[key])
+            payload_ptr.append(len(payload))
+        return {"keys": keys, "payload_ptr": payload_ptr, "payload": payload}
+
+    @classmethod
+    def from_buffers(cls, constraint: AccessConstraint,
+                     buffers: dict) -> "FrozenConstraintIndex":
+        """Adopt :meth:`to_buffers` output without decoding it yet.
+
+        The buffers (``array('q')`` or memoryviews over a loaded
+        artifact) are kept as-is; the entry dict is materialized on first
+        retrieval/inspection. Shape problems therefore surface on first
+        use, as :class:`~repro.errors.ArtifactCorrupt`.
+        """
+        try:
+            raw = (buffers["keys"], buffers["payload_ptr"], buffers["payload"])
+        except KeyError as exc:
+            from repro.errors import ArtifactCorrupt
+            raise ArtifactCorrupt(
+                f"index buffers for {constraint} are missing section {exc}") from exc
+        index = cls(constraint)
+        index._entry_data = None
+        index._raw_buffers = raw
+        return index
+
+    def _decode_buffers(self) -> dict[tuple[int, ...], tuple[int, ...]]:
+        from repro.errors import ArtifactCorrupt
+        keys_flat, payload_ptr, payload = self._raw_buffers
+        arity = len(self.constraint.source)
+        starts = list(payload_ptr)
+        values = list(payload)
+        num_keys = len(starts) - 1
+        if (num_keys < 0 or len(keys_flat) != num_keys * arity
+                or (starts and (starts[0] != 0 or starts[-1] != len(values)))
+                or any(starts[i] > starts[i + 1] for i in range(num_keys))):
+            raise ArtifactCorrupt(
+                f"index buffers for {self.constraint} have inconsistent shapes")
+        if arity == 0:
+            return {(): tuple(values)} if num_keys else {}
+        key_iter = zip(*[iter(list(keys_flat))] * arity)
+        return {key: tuple(values[starts[i]:starts[i + 1]])
+                for i, key in enumerate(key_iter)}
 
 
 class SchemaIndex:
@@ -314,6 +388,25 @@ class SchemaIndex:
             return FrozenConstraintIndex(constraint, self.graph)
         return ConstraintIndex(constraint, self.graph,
                                track_members=track_members)
+
+    @classmethod
+    def from_prebuilt(cls, graph: GraphView, schema: AccessSchema,
+                      indexes: dict) -> "SchemaIndex":
+        """Assemble a schema index from already-built per-constraint
+        indexes, skipping construction entirely (the artifact warm-start
+        path — see :mod:`repro.engine.persist`)."""
+        missing = [c for c in schema if c not in indexes]
+        if missing:
+            raise SchemaError(
+                f"prebuilt indexes missing for constraints: "
+                f"{', '.join(str(c) for c in missing)}")
+        sx = cls.__new__(cls)
+        sx.graph = graph
+        sx.schema = schema
+        sx.frozen = all(isinstance(indexes[c], FrozenConstraintIndex)
+                        for c in schema)
+        sx._indexes = {c: indexes[c] for c in schema}
+        return sx
 
     def index_for(self, constraint: AccessConstraint) -> BaseConstraintIndex:
         try:

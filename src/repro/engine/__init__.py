@@ -7,14 +7,27 @@
   QPlan) query bound to a session.
 * :class:`~repro.engine.cache.PlanCache` — the LRU plan cache, sharable
   between sessions serving the same schema.
+* :mod:`~repro.engine.persist` — on-disk compiled artifacts:
+  ``QueryEngine.save(path)`` / ``QueryEngine.open_path(path)`` give warm
+  starts that skip graph load, index build and plan compilation.
 """
 
 from repro.engine.cache import PlanCache, pattern_fingerprint
 from repro.engine.engine import PreparedQuery, QueryEngine
+from repro.engine.persist import (
+    inspect_artifact,
+    load_engine,
+    render_inspection,
+    save_engine,
+)
 
 __all__ = [
     "PlanCache",
     "PreparedQuery",
     "QueryEngine",
+    "inspect_artifact",
+    "load_engine",
     "pattern_fingerprint",
+    "render_inspection",
+    "save_engine",
 ]

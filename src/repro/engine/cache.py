@@ -161,6 +161,11 @@ class PlanCache:
         """Keys from least to most recently used (eviction order)."""
         return iter(self._entries.keys())
 
+    def items(self) -> list[tuple[Hashable, object]]:
+        """``(key, value)`` pairs in eviction order, without touching the
+        hit/miss counters or recency (used by artifact serialization)."""
+        return list(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -28,6 +28,7 @@ keying details.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable
 
 from repro.accounting import AccessStats
@@ -178,10 +179,15 @@ class QueryEngine:
 
     def __init__(self, graph: GraphView, schema: AccessSchema, *,
                  frozen: bool = True, validate: bool = False,
-                 cache_size: int = 128, plan_cache: PlanCache | None = None):
+                 cache_size: int = 128, plan_cache: PlanCache | None = None,
+                 schema_index=None):
         self.schema = schema
         self.frozen = frozen
         self.stats = AccessStats()
+        #: Artifact directory this session was loaded from / saved to, if
+        #: any; ``apply`` marks it stale the moment the served graph
+        #: diverges from the on-disk snapshot.
+        self.artifact_path: Path | None = None
         self._cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
         # Session-local PreparedQuery memo (LRU): keeps answer memoization
         # across re-prepares without the (sharable) plan cache pinning
@@ -193,10 +199,17 @@ class QueryEngine:
                 else FrozenGraph.from_graph(graph)
             self._graph: GraphView = snapshot
             self._maintained: MaintainedSchemaIndex | None = None
-            from repro.constraints.index import SchemaIndex
-            self._schema_index = SchemaIndex(snapshot, schema, frozen=True,
-                                             validate=validate)
+            if schema_index is None:
+                from repro.constraints.index import SchemaIndex
+                schema_index = SchemaIndex(snapshot, schema, frozen=True,
+                                           validate=validate)
+            elif validate:
+                schema_index.validate()
+            self._schema_index = schema_index
         else:
+            if schema_index is not None:
+                raise EngineError(
+                    "a prebuilt schema index requires a frozen session")
             if not isinstance(graph, Graph):
                 raise EngineError(
                     "a mutable engine session requires a mutable Graph "
@@ -216,6 +229,36 @@ class QueryEngine:
         """Open a query-serving session over ``graph`` under ``schema``."""
         return cls(graph, schema, frozen=frozen, validate=validate,
                    cache_size=cache_size, plan_cache=plan_cache)
+
+    @classmethod
+    def open_path(cls, path, *, frozen: bool = True, validate: bool = False,
+                  cache_size: int = 128,
+                  allow_stale: bool = False) -> "QueryEngine":
+        """Warm-start a session from an artifact written by :meth:`save`.
+
+        Skips graph load, index build, and EBChk/QPlan for every
+        canonical pattern form that was prepared before the save. Raises
+        :class:`~repro.errors.ArtifactCorrupt`,
+        :class:`~repro.errors.ArtifactVersionMismatch`, or
+        :class:`~repro.errors.ArtifactStale` rather than ever serving
+        from an untrustworthy snapshot. ``frozen=False`` thaws into a
+        mutable session that supports :meth:`apply` (and pays a mutable
+        index rebuild; the plan cache stays warm either way).
+        """
+        from repro.engine import persist
+        return persist.load_engine(path, frozen=frozen, validate=validate,
+                                   cache_size=cache_size,
+                                   allow_stale=allow_stale)
+
+    def save(self, path) -> dict:
+        """Persist the session's compiled state (snapshot, indexes, plan
+        cache) as an artifact directory; returns the manifest. A save
+        from a mutable session freezes its current state, repairing any
+        staleness at ``path``."""
+        from repro.engine import persist
+        manifest = persist.save_engine(self, path)
+        self.artifact_path = Path(path)
+        return manifest
 
     # -- session state ---------------------------------------------------------
     @property
@@ -355,6 +398,14 @@ class QueryEngine:
             raise EngineError(
                 "cannot apply updates to a frozen engine session; open "
                 "with frozen=False for incremental maintenance")
+        if self.artifact_path is not None:
+            # Mark before mutating: even a half-applied delta means the
+            # on-disk snapshot no longer answers for this session. A
+            # later save() re-compiles the artifact and clears the mark.
+            from repro.engine import persist
+            persist.mark_stale(self.artifact_path,
+                               f"graph delta applied at generation "
+                               f"{self._generation + 1}")
         report = self._maintained.apply(delta)
         self._generation += 1
         return report

@@ -1,0 +1,575 @@
+"""Persistent compiled artifacts: on-disk engine snapshots.
+
+The paper's economics are pay-once (access schema, indexes, compiled
+plans), serve-many. PR 1 amortized those costs in-process; this module
+makes the compiled state a durable artifact so every **process** after
+the first skips graph load, index build, and EBChk/QPlan for previously
+prepared canonical forms:
+
+.. code-block:: text
+
+    engine = QueryEngine.open(graph, schema)   # cold: build everything
+    engine.prepare(q)                          # compile plans
+    engine.save("artifact/")                   # persist the compiled state
+    ...
+    engine = QueryEngine.open_path("artifact/")  # warm: ~10-40x faster
+
+Artifact layout (one directory)::
+
+    manifest.json     format version, byte order, graph stats, access
+                      schema, per-constraint index metadata, file
+                      checksums (the root of trust)
+    graph.bin         FrozenGraph CSR buffers (binary container)
+    graph.meta.json   label table + sparse node-value map
+    index.bin         per-constraint FrozenConstraintIndex buffers
+    plans.json        plan-cache contents (compiled plans + cached
+                      negative EBChk verdicts, keyed by canonical form)
+    STALE             marker written by ``QueryEngine.apply`` when the
+                      served graph diverges from the snapshot
+
+The binary container is struct/array-based — a magic header followed by
+named int64 sections, 8-byte aligned so loading can hand out zero-copy
+``memoryview`` slices over one bytes object. No pickle anywhere. Every
+payload file is SHA-256 checksummed in the manifest; corruption raises
+:class:`~repro.errors.ArtifactCorrupt`, a format bump raises
+:class:`~repro.errors.ArtifactVersionMismatch`, and a stale marker
+raises :class:`~repro.errors.ArtifactStale` (all loud, never a wrong
+answer). ``plans.json`` uses the :mod:`json` module's infinity literals
+for unbounded cost bounds, so it is JSON + ``Infinity``.
+
+Versioning: ``FORMAT_VERSION`` covers everything an artifact's meaning
+depends on, including the canonical-fingerprint algorithm of
+:mod:`repro.engine.cache` — bump it whenever buffers, JSON schemas, or
+fingerprinting change incompatibly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+from repro.constraints.index import (
+    ConstraintIndex,
+    FrozenConstraintIndex,
+    SchemaIndex,
+)
+from repro.constraints.schema import AccessSchema
+from repro.core.plan import EdgeCheck, FetchOp, QueryPlan
+from repro.errors import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactStale,
+    ArtifactVersionMismatch,
+    NotEffectivelyBounded,
+)
+from repro.graph.frozen import FrozenGraph
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import Atom, Predicate
+
+#: Bump on any incompatible change to buffers, JSON layouts, or the
+#: canonical pattern fingerprint.
+FORMAT_VERSION = 1
+
+FORMAT_NAME = "repro-engine-artifact"
+
+MANIFEST_FILE = "manifest.json"
+GRAPH_FILE = "graph.bin"
+GRAPH_META_FILE = "graph.meta.json"
+INDEX_FILE = "index.bin"
+PLANS_FILE = "plans.json"
+STALE_FILE = "STALE"
+
+#: Files whose checksums the manifest records (everything but itself and
+#: the stale marker).
+PAYLOAD_FILES = (GRAPH_FILE, GRAPH_META_FILE, INDEX_FILE, PLANS_FILE)
+
+_BIN_MAGIC = b"RPROBIN1"
+_ITEM = 8  # int64 buffers only
+
+
+# --------------------------------------------------------------- binary container
+def _buffer_bytes(buf) -> bytes:
+    """Raw bytes of an int64 buffer (array('q') or memoryview)."""
+    if isinstance(buf, array):
+        return buf.tobytes()
+    return bytes(buf)
+
+
+def pack_buffers(buffers: dict) -> bytes:
+    """Serialize named int64 buffers into one binary blob.
+
+    Layout: magic, ``<I`` buffer count, then per buffer ``<H`` name
+    length, UTF-8 name, ``<Q`` payload byte length, zero padding to an
+    8-byte boundary, payload. Multi-byte header fields are little-endian;
+    payloads are native-endian (recorded in the manifest and swapped on
+    load when needed).
+    """
+    out = bytearray(_BIN_MAGIC)
+    out += struct.pack("<I", len(buffers))
+    for name, buf in buffers.items():
+        raw = _buffer_bytes(buf)
+        encoded = name.encode("utf-8")
+        out += struct.pack("<H", len(encoded))
+        out += encoded
+        out += struct.pack("<Q", len(raw))
+        out += b"\x00" * (-len(out) % _ITEM)
+        out += raw
+    return bytes(out)
+
+
+def unpack_buffers(data: bytes, *, byteswap: bool = False,
+                   source: str = "buffer file") -> dict:
+    """Parse :func:`pack_buffers` output into named int64 sequences.
+
+    Returns zero-copy ``memoryview`` slices cast to ``'q'`` (or
+    materialized, byte-swapped ``array('q')`` objects when the artifact
+    was written on a machine of the other endianness).
+    """
+    view = memoryview(data)
+    try:
+        if bytes(view[:len(_BIN_MAGIC)]) != _BIN_MAGIC:
+            raise ArtifactCorrupt(f"{source}: bad magic header")
+        offset = len(_BIN_MAGIC)
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        buffers = {}
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+            name = bytes(view[offset:offset + name_len]).decode("utf-8")
+            offset += name_len
+            (payload_len,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+            offset += -offset % _ITEM
+            if payload_len % _ITEM or offset + payload_len > len(data):
+                raise ArtifactCorrupt(
+                    f"{source}: buffer {name!r} is truncated or misaligned")
+            section = view[offset:offset + payload_len].cast("q")
+            offset += payload_len
+            if byteswap:
+                swapped = array("q")
+                swapped.frombytes(bytes(section))
+                swapped.byteswap()
+                buffers[name] = swapped
+            else:
+                buffers[name] = section
+        return buffers
+    except struct.error as exc:
+        raise ArtifactCorrupt(f"{source}: truncated header ({exc})") from exc
+
+
+# ------------------------------------------------------------------ plan encoding
+def _encode_pattern(pattern: Pattern) -> dict:
+    return {
+        "name": pattern.name,
+        "nodes": [[node, pattern.label_of(node),
+                   [[atom.op, atom.constant]
+                    for atom in pattern.predicate_of(node).atoms]]
+                  for node in sorted(pattern.nodes())],
+        "edges": [[u, v] for u, v in pattern.edges()],
+    }
+
+
+def _decode_pattern(doc: dict) -> Pattern:
+    pattern = Pattern(name=doc.get("name", ""))
+    for node, label, atoms in doc["nodes"]:
+        predicate = Predicate(tuple(Atom(op, constant)
+                                    for op, constant in atoms))
+        pattern.add_node(label, predicate=predicate, node_id=int(node))
+    for u, v in doc["edges"]:
+        pattern.add_edge(int(u), int(v))
+    return pattern
+
+
+def _encode_plan(plan: QueryPlan, constraint_pos: dict) -> dict:
+    return {
+        "pattern": _encode_pattern(plan.pattern),
+        "semantics": plan.semantics,
+        "ops": [{"target": op.target,
+                 "source_nodes": list(op.source_nodes),
+                 "constraint": constraint_pos[op.constraint],
+                 "fetch_bound": op.fetch_bound,
+                 "size_bound": op.size_bound} for op in plan.ops],
+        "edge_checks": [{"edge": list(check.edge),
+                         "mode": check.mode,
+                         "fetch_target": check.fetch_target,
+                         "source_nodes": list(check.source_nodes),
+                         "constraint": (None if check.constraint is None
+                                        else constraint_pos[check.constraint]),
+                         "cost_bound": check.cost_bound}
+                        for check in plan.edge_checks],
+    }
+
+
+def _decode_plan(doc: dict, schema: AccessSchema, constraints: list) -> QueryPlan:
+    pattern = _decode_pattern(doc["pattern"])
+    plan = QueryPlan(pattern=pattern, schema=schema,
+                     semantics=doc["semantics"])
+    for op in doc["ops"]:
+        target = int(op["target"])
+        plan.ops.append(FetchOp(
+            target=target,
+            source_nodes=tuple(int(v) for v in op["source_nodes"]),
+            constraint=constraints[op["constraint"]],
+            predicate=pattern.predicate_of(target),
+            fetch_bound=float(op["fetch_bound"]),
+            size_bound=float(op["size_bound"])))
+    for check in doc["edge_checks"]:
+        constraint = check["constraint"]
+        plan.edge_checks.append(EdgeCheck(
+            edge=(int(check["edge"][0]), int(check["edge"][1])),
+            mode=check["mode"],
+            fetch_target=(None if check["fetch_target"] is None
+                          else int(check["fetch_target"])),
+            source_nodes=tuple(int(v) for v in check["source_nodes"]),
+            constraint=None if constraint is None else constraints[constraint],
+            cost_bound=float(check["cost_bound"])))
+    return plan
+
+
+def _freeze(obj):
+    """Recursively turn JSON lists back into the hashable tuples the
+    plan-cache keys are made of."""
+    if isinstance(obj, list):
+        return tuple(_freeze(item) for item in obj)
+    return obj
+
+
+def _encode_plan_entries(engine) -> list[dict]:
+    constraint_pos = {c: i for i, c in enumerate(engine.schema)}
+    entries = []
+    for cache_key, entry in engine.plan_cache.items():
+        if not entry.usable_by(engine.schema):
+            continue  # foreign-schema or stale-negative entry in a shared cache
+        key, semantics = cache_key
+        doc = {"key": key, "semantics": semantics,
+               "order": list(entry.order), "schema_size": entry.schema_size}
+        if entry.error is not None:
+            doc["error"] = {
+                "message": str(entry.error),
+                "uncovered_nodes": list(entry.error.uncovered_nodes),
+                "uncovered_edges": [list(edge)
+                                    for edge in entry.error.uncovered_edges]}
+        else:
+            doc["plan"] = _encode_plan(entry.plan, constraint_pos)
+        entries.append(doc)
+    return entries
+
+
+def _decode_plan_entries(payload: dict, schema: AccessSchema):
+    from repro.engine.engine import _CacheEntry
+
+    constraints = list(schema)
+    for doc in payload.get("entries", ()):
+        cache_key = (_freeze(doc["key"]), doc["semantics"])
+        order = tuple(int(v) for v in doc["order"])
+        if "error" in doc:
+            error_doc = doc["error"]
+            error = NotEffectivelyBounded(
+                error_doc["message"],
+                uncovered_nodes=[int(v)
+                                 for v in error_doc["uncovered_nodes"]],
+                uncovered_edges=[(int(u), int(v))
+                                 for u, v in error_doc["uncovered_edges"]])
+            entry = _CacheEntry(order=order, schema=schema,
+                                schema_size=int(doc["schema_size"]),
+                                error=error)
+        else:
+            plan = _decode_plan(doc["plan"], schema, constraints)
+            entry = _CacheEntry(order=order, schema=schema,
+                                schema_size=int(doc["schema_size"]),
+                                plan=plan)
+        yield cache_key, entry
+
+
+# ------------------------------------------------------------------------- saving
+def save_engine(engine, path) -> dict:
+    """Write ``engine``'s compiled state to the artifact directory
+    ``path`` (created if needed, overwritten if present) and return the
+    manifest. Clears any stale marker: a fresh save *is* the repair.
+    """
+    from repro import __version__  # late: repro/__init__ defines it last
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    graph = engine.graph
+    if not isinstance(graph, FrozenGraph):
+        graph = FrozenGraph.from_graph(graph)
+    graph_buffers, graph_meta = graph.to_buffers()
+
+    index_buffers: dict = {}
+    index_meta = []
+    for i, constraint in enumerate(engine.schema):
+        index = engine.schema_index.index_for(constraint)
+        if isinstance(index, ConstraintIndex):
+            index = index.freeze()
+        for name, buf in index.to_buffers().items():
+            index_buffers[f"c{i}.{name}"] = buf
+        index_meta.append({"constraint": constraint.to_dict(),
+                           "num_keys": index.num_keys,
+                           "size": index.size,
+                           "max_entry": index.max_entry})
+
+    plan_entries = _encode_plan_entries(engine)
+
+    contents = {
+        GRAPH_FILE: pack_buffers(graph_buffers),
+        GRAPH_META_FILE: json.dumps(graph_meta).encode("utf-8"),
+        INDEX_FILE: pack_buffers(index_buffers),
+        PLANS_FILE: json.dumps({"entries": plan_entries}).encode("utf-8"),
+    }
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "byteorder": sys.byteorder,
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
+                  "labels": len(graph.labels())},
+        "schema": engine.schema.to_dict(),
+        "index": index_meta,
+        "plans": {"entries": len(plan_entries)},
+        "files": {name: {"sha256": hashlib.sha256(data).hexdigest(),
+                         "bytes": len(data)}
+                  for name, data in contents.items()},
+    }
+    for name, data in contents.items():
+        (path / name).write_bytes(data)
+    # Manifest last: a crash mid-save leaves a manifest that does not
+    # match its payloads, which load_engine reports as corruption.
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2) + "\n",
+                                      encoding="utf-8")
+    (path / STALE_FILE).unlink(missing_ok=True)
+    return manifest
+
+
+# ------------------------------------------------------------------------ loading
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise ArtifactCorrupt(f"no artifact manifest at {manifest_path}",
+                              path=str(path))
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ArtifactCorrupt(f"unreadable artifact manifest: {exc}",
+                              path=str(manifest_path)) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise ArtifactCorrupt(
+            f"{manifest_path} is not a {FORMAT_NAME} manifest",
+            path=str(manifest_path))
+    found = manifest.get("format_version")
+    if found != FORMAT_VERSION:
+        raise ArtifactVersionMismatch(
+            f"artifact at {path} has format version {found!r}; this library "
+            f"reads version {FORMAT_VERSION} — re-compile the artifact",
+            found=found, supported=FORMAT_VERSION)
+    return manifest
+
+
+def _read_payloads(path: Path, manifest: dict) -> dict:
+    files = manifest.get("files")
+    if not isinstance(files, dict) or set(files) != set(PAYLOAD_FILES):
+        raise ArtifactCorrupt(
+            f"artifact manifest at {path} lists unexpected files",
+            path=str(path))
+    payloads = {}
+    for name, meta in files.items():
+        file_path = path / name
+        try:
+            data = file_path.read_bytes()
+        except OSError as exc:
+            raise ArtifactCorrupt(f"missing artifact file {file_path}: {exc}",
+                                  path=str(file_path)) from exc
+        if len(data) != meta.get("bytes"):
+            raise ArtifactCorrupt(
+                f"{file_path}: size {len(data)} != recorded {meta.get('bytes')}",
+                path=str(file_path))
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != meta.get("sha256"):
+            raise ArtifactCorrupt(
+                f"{file_path}: checksum mismatch (artifact is corrupt or "
+                f"was modified; re-compile it)", path=str(file_path))
+        payloads[name] = data
+    return payloads
+
+
+def stale_info(path) -> dict | None:
+    """The stale-marker contents, or None when the artifact is fresh."""
+    marker = Path(path) / STALE_FILE
+    if not marker.is_file():
+        return None
+    try:
+        info = json.loads(marker.read_text(encoding="utf-8"))
+        return info if isinstance(info, dict) else {"reason": str(info)}
+    except (OSError, ValueError):
+        return {"reason": "unreadable stale marker"}
+
+
+def mark_stale(path, reason: str) -> None:
+    """Mark the artifact at ``path`` stale (idempotent; no-op when the
+    directory is gone). ``QueryEngine.apply`` calls this the moment the
+    served graph diverges from the on-disk snapshot."""
+    directory = Path(path)
+    if not directory.is_dir():
+        return
+    (directory / STALE_FILE).write_text(
+        json.dumps({"reason": reason}) + "\n", encoding="utf-8")
+
+
+def load_engine(path, *, frozen: bool = True, validate: bool = False,
+                cache_size: int = 128, allow_stale: bool = False):
+    """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
+
+    The frozen path (default) is the warm start: CSR buffers are adopted
+    zero-copy, constraint indexes decode lazily, and the plan cache is
+    rehydrated so previously prepared canonical forms skip EBChk/QPlan.
+    ``frozen=False`` thaws the graph into a mutable session (paying a
+    mutable index rebuild) with the plan cache still warm — the only
+    loaded flavour that supports ``apply``.
+    """
+    from repro.engine.engine import QueryEngine
+
+    path = Path(path)
+    manifest = _read_manifest(path)
+    stale = stale_info(path)
+    if stale is not None and not allow_stale:
+        raise ArtifactStale(
+            f"artifact at {path} is stale ({stale.get('reason', 'unknown')}); "
+            f"re-compile it or pass allow_stale=True",
+            reason=stale.get("reason"))
+    payloads = _read_payloads(path, manifest)
+    byteswap = manifest.get("byteorder") != sys.byteorder
+
+    try:
+        schema = AccessSchema.from_dict(manifest["schema"])
+        graph_meta = json.loads(payloads[GRAPH_META_FILE])
+        plans_payload = json.loads(payloads[PLANS_FILE])
+    except (KeyError, ValueError) as exc:
+        raise ArtifactCorrupt(f"malformed artifact JSON at {path}: {exc}",
+                              path=str(path)) from exc
+
+    graph_buffers = unpack_buffers(payloads[GRAPH_FILE], byteswap=byteswap,
+                                   source=GRAPH_FILE)
+    graph = FrozenGraph.from_buffers(graph_buffers, graph_meta)
+
+    index_buffers = unpack_buffers(payloads[INDEX_FILE], byteswap=byteswap,
+                                   source=INDEX_FILE)
+    per_constraint: dict[str, dict] = {}
+    for name, buf in index_buffers.items():
+        prefix, _, field = name.partition(".")
+        per_constraint.setdefault(prefix, {})[field] = buf
+    indexes = {}
+    for i, constraint in enumerate(schema):
+        indexes[constraint] = FrozenConstraintIndex.from_buffers(
+            constraint, per_constraint.get(f"c{i}", {}))
+
+    try:
+        plan_entries = list(_decode_plan_entries(plans_payload, schema))
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ArtifactCorrupt(
+            f"malformed plan entry in {path / PLANS_FILE}: {exc}",
+            path=str(path / PLANS_FILE)) from exc
+    # Never let LRU capacity silently evict persisted plans on load —
+    # that would quietly re-pay EBChk/QPlan on the "warm" path.
+    from repro.engine.cache import PlanCache
+    plan_cache = PlanCache(max(cache_size, len(plan_entries), 1))
+
+    if frozen:
+        schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
+        engine = QueryEngine(graph, schema, frozen=True, validate=validate,
+                             cache_size=cache_size, plan_cache=plan_cache,
+                             schema_index=schema_index)
+    else:
+        engine = QueryEngine(graph.thaw(), schema, frozen=False,
+                             validate=validate, cache_size=cache_size,
+                             plan_cache=plan_cache)
+
+    for cache_key, entry in plan_entries:
+        engine.plan_cache.put(cache_key, entry)
+
+    engine.artifact_path = path
+    return engine
+
+
+# ---------------------------------------------------------------------- inspection
+def inspect_artifact(path) -> dict:
+    """Metadata of an artifact without loading it — format and library
+    versions, graph stats, per-constraint index sizes, cached plan count,
+    staleness, and per-file checksum status (for debugging CI failures).
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    files = {}
+    for name, meta in manifest.get("files", {}).items():
+        file_path = path / name
+        if not file_path.is_file():
+            status = "missing"
+        else:
+            data = file_path.read_bytes()
+            if (len(data) == meta.get("bytes")
+                    and hashlib.sha256(data).hexdigest() == meta.get("sha256")):
+                status = "ok"
+            else:
+                status = "MISMATCH"
+        files[name] = {"bytes": meta.get("bytes"), "status": status}
+    return {
+        "path": str(path),
+        "format": manifest.get("format"),
+        "format_version": manifest.get("format_version"),
+        "library_version": manifest.get("library_version"),
+        "byteorder": manifest.get("byteorder"),
+        "graph": manifest.get("graph", {}),
+        "constraints": len(manifest.get("index", [])),
+        "index": manifest.get("index", []),
+        "cached_plans": manifest.get("plans", {}).get("entries", 0),
+        "stale": stale_info(path),
+        "files": files,
+    }
+
+
+def render_inspection(info: dict) -> str:
+    """Human-readable rendering of :func:`inspect_artifact` output."""
+    graph = info.get("graph", {})
+    lines = [
+        f"artifact: {info['path']}",
+        f"  format: {info['format']} v{info['format_version']} "
+        f"(library {info['library_version']}, {info['byteorder']}-endian)",
+        f"  graph: {graph.get('nodes')} nodes, {graph.get('edges')} edges, "
+        f"{graph.get('labels')} labels",
+        f"  constraints: {info['constraints']}",
+        f"  cached plans: {info['cached_plans']}",
+        f"  stale: {info['stale'].get('reason') if info['stale'] else 'no'}",
+    ]
+    for name, meta in info.get("files", {}).items():
+        lines.append(f"  file {name}: {meta['bytes']} bytes [{meta['status']}]")
+    total_cells = sum(entry.get("size", 0) for entry in info.get("index", ()))
+    largest = sorted(info.get("index", ()),
+                     key=lambda e: e.get("size", 0), reverse=True)[:5]
+    lines.append(f"  index cells: {total_cells} across "
+                 f"{info['constraints']} constraints; largest:")
+    for entry in largest:
+        constraint = entry.get("constraint", {})
+        source = ",".join(constraint.get("source", ())) or "∅"
+        lines.append(f"    {source} -> ({constraint.get('target')}, "
+                     f"{constraint.get('bound')}): {entry.get('num_keys')} "
+                     f"keys, {entry.get('size')} cells")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "inspect_artifact",
+    "load_engine",
+    "mark_stale",
+    "pack_buffers",
+    "render_inspection",
+    "save_engine",
+    "stale_info",
+    "unpack_buffers",
+]

@@ -92,6 +92,62 @@ class EngineError(ReproError):
     (e.g. applying updates to a frozen session)."""
 
 
+class ArtifactError(EngineError):
+    """Base class for persistent-artifact failures (see
+    :mod:`repro.engine.persist`). Raised when a compiled snapshot on disk
+    cannot be written, read, or trusted."""
+
+
+class ArtifactCorrupt(ArtifactError):
+    """Raised when an artifact fails structural validation: a missing or
+    truncated file, a checksum mismatch, malformed JSON or binary headers.
+
+    Attributes
+    ----------
+    path:
+        The artifact directory (or file within it) that failed.
+    """
+
+    def __init__(self, message, path=None):
+        self.path = path
+        super().__init__(message)
+
+
+class ArtifactVersionMismatch(ArtifactError):
+    """Raised when an artifact was written by an incompatible format
+    version of the library.
+
+    Attributes
+    ----------
+    found:
+        The format version recorded in the artifact manifest.
+    supported:
+        The format version this library reads and writes.
+    """
+
+    def __init__(self, message, found=None, supported=None):
+        self.found = found
+        self.supported = supported
+        super().__init__(message)
+
+
+class ArtifactStale(ArtifactError):
+    """Raised when opening an artifact that was marked stale by
+    ``QueryEngine.apply`` after the on-disk snapshot diverged from the
+    served graph. Re-compile (``engine.save``) to clear, or pass
+    ``allow_stale=True`` to opt into the stale snapshot explicitly.
+
+    Attributes
+    ----------
+    reason:
+        The reason recorded in the stale marker, if any.
+    """
+
+    def __init__(self, message, reason=None):
+        self.reason = reason
+        super().__init__(message)
+
+
 class MatchTimeout(ReproError):
     """Raised when a matcher exceeds its time budget.
 

@@ -80,9 +80,60 @@ class FrozenGraph(GraphView):
             in_src.extend(row)
             in_ptr.append(len(in_src))
 
-        frozen_by_label = {l: tuple(vs) for l, vs in by_label.items()}
+        frozen_by_label = {label: tuple(vs) for label, vs in by_label.items()}
         return cls(ids, pos, labels, values, out_ptr, out_dst,
                    in_ptr, in_src, frozen_by_label, num_edges)
+
+    # -- binary snapshot interface (repro.engine.persist) -----------------------
+    def to_buffers(self) -> tuple[dict, dict]:
+        """Decompose the snapshot into flat int64 buffers plus JSON meta.
+
+        Returns ``(buffers, meta)``: ``buffers`` maps buffer names to
+        int64 sequences (``array('q')`` or an equivalent memoryview) and
+        ``meta`` is a JSON-serializable dict carrying the label table and
+        the sparse value map. :meth:`from_buffers` is the exact inverse;
+        everything else (positions, label buckets, edge count) is derived.
+        """
+        label_table = sorted(set(self._labels))
+        code = {label: i for i, label in enumerate(label_table)}
+        label_codes = array("q", (code[label] for label in self._labels))
+        buffers = {"ids": self._ids, "label_codes": label_codes,
+                   "out_ptr": self._out_ptr, "out_dst": self._out_dst,
+                   "in_ptr": self._in_ptr, "in_src": self._in_src}
+        meta = {"labels": label_table,
+                "values": [[v, self._values[v]] for v in sorted(self._values)]}
+        return buffers, meta
+
+    @classmethod
+    def from_buffers(cls, buffers: dict, meta: dict) -> "FrozenGraph":
+        """Reassemble a snapshot from :meth:`to_buffers` output.
+
+        The int64 buffers are adopted as-is — passing memoryviews over a
+        loaded artifact makes this zero-copy for the CSR payloads; only
+        the derived lookup structures (id positions, label buckets) are
+        rebuilt.
+        """
+        try:
+            ids = buffers["ids"]
+            label_table = meta["labels"]
+            labels = [label_table[code] for code in buffers["label_codes"]]
+            values = {int(v): value for v, value in meta["values"]}
+            out_ptr, out_dst = buffers["out_ptr"], buffers["out_dst"]
+            in_ptr, in_src = buffers["in_ptr"], buffers["in_src"]
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise GraphError(f"malformed frozen-graph buffers: {exc}") from exc
+        n = len(ids)
+        if (len(labels) != n or len(out_ptr) != n + 1 or len(in_ptr) != n + 1
+                or (n and (out_ptr[n] != len(out_dst)
+                           or in_ptr[n] != len(in_src)))):
+            raise GraphError("frozen-graph buffer shapes are inconsistent")
+        pos = {v: i for i, v in enumerate(ids)}
+        by_label: dict[str, list[int]] = {}
+        for i, v in enumerate(ids):
+            by_label.setdefault(labels[i], []).append(v)
+        frozen_by_label = {label: tuple(vs) for label, vs in by_label.items()}
+        return cls(ids, pos, labels, values, out_ptr, out_dst,
+                   in_ptr, in_src, frozen_by_label, len(out_dst))
 
     # -- read interface ---------------------------------------------------------
     def nodes(self) -> Iterable[int]:

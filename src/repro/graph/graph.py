@@ -317,7 +317,7 @@ class Graph(GraphView):
         g._values = dict(self._values)
         g._out = {v: set(s) for v, s in self._out.items()}
         g._in = {v: set(s) for v, s in self._in.items()}
-        g._by_label = {l: set(s) for l, s in self._by_label.items()}
+        g._by_label = {label: set(s) for label, s in self._by_label.items()}
         g._num_edges = self._num_edges
         g._next_id = self._next_id
         return g

@@ -151,7 +151,7 @@ class PatternGenerator:
             if extension is None:
                 # Anchor label is isolated in the label graph; retry from
                 # another anchor, or give up growing if none can extend.
-                if not any(self._random_extension(l) for l in node_labels):
+                if not any(self._random_extension(label) for label in node_labels):
                     break
                 continue
             new_label, outgoing = extension

@@ -15,6 +15,7 @@ from repro.bench import (
     render_series,
     render_table,
     timed,
+    warm_start,
 )
 from repro.errors import BenchmarkError, MatchTimeout
 
@@ -86,6 +87,35 @@ class TestExperiments:
     def test_exp3(self):
         rows = exp3_algorithm_times(datasets=("imdb",), scale=SCALE, count=10)
         assert rows[0]["ebchk_max_ms"] is not None
+
+
+class TestWarmStart:
+    def test_rows_and_artifact(self, tmp_path):
+        artifact = tmp_path / "artifact"
+        rows = warm_start("imdb", scale=SCALE, distinct=3, opens=2,
+                          artifact=str(artifact))
+        by_mode = {row["mode"]: row for row in rows}
+        assert set(by_mode) == {"cold_build", "save", "warm_open",
+                                "prepared_reuse"}
+        assert by_mode["prepared_reuse"]["plan_cache_hits"] >= \
+            by_mode["prepared_reuse"]["queries"]
+        assert by_mode["warm_open"]["open_speedup"] > 1
+        assert (artifact / "manifest.json").is_file()
+        assert by_mode["save"]["artifact_bytes"] > 0
+
+    def test_temp_artifact_cleaned_up(self):
+        rows = warm_start("imdb", scale=SCALE, distinct=2, opens=1)
+        assert len(rows) == 4
+
+    def test_throughput_rejects_mismatched_artifact(self, tmp_path):
+        from repro.bench.harness import engine_throughput
+        from repro.engine import QueryEngine
+        artifact = tmp_path / "artifact"
+        graph, schema = get_dataset("imdb", 0.005)
+        QueryEngine.open(graph, schema).save(artifact)
+        with pytest.raises(BenchmarkError):
+            engine_throughput("imdb", scale=SCALE, distinct=2, repeats=1,
+                              artifact=str(artifact))
 
 
 class TestReporting:

@@ -79,6 +79,63 @@ class TestRun:
         assert code in (0, 1)
 
 
+class TestCompile:
+    def test_compile_run_round_trip(self, artifacts, tmp_path, capsys):
+        pattern, schema, graph = artifacts
+        artifact = tmp_path / "artifact"
+        code = main(["compile", "--graph", str(graph), "--schema", str(schema),
+                     "--out", str(artifact), "--pattern", str(pattern)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cached plans" in out
+
+        assert main(["run", "--graph", str(graph), "--schema", str(schema),
+                     "--pattern", str(pattern)]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["run", "--artifact", str(artifact),
+                     "--pattern", str(pattern)]) == 0
+        warm_out = capsys.readouterr().out
+        # Identical matches and identical bounded-access accounting.
+        assert warm_out == cold_out
+
+    def test_compile_from_dataset(self, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        assert main(["compile", "--dataset", "imdb", "--scale", "0.005",
+                     "--out", str(artifact)]) == 0
+        assert "compiled artifact" in capsys.readouterr().out
+
+    def test_inspect(self, artifacts, tmp_path, capsys):
+        _, schema, graph = artifacts
+        artifact = tmp_path / "artifact"
+        main(["compile", "--graph", str(graph), "--schema", str(schema),
+              "--out", str(artifact)])
+        capsys.readouterr()
+        assert main(["compile", "--inspect", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "format: repro-engine-artifact v1" in out
+        assert "[ok]" in out
+
+    def test_compile_without_out_or_inputs(self, tmp_path, capsys):
+        assert main(["compile", "--out", str(tmp_path / "x")]) == 2
+        assert main(["compile", "--dataset", "imdb"]) == 2
+
+    def test_corrupt_artifact_fails_loudly(self, artifacts, tmp_path, capsys):
+        pattern, schema, graph = artifacts
+        artifact = tmp_path / "artifact"
+        main(["compile", "--graph", str(graph), "--schema", str(schema),
+              "--out", str(artifact)])
+        payload = artifact / "index.bin"
+        payload.write_bytes(payload.read_bytes()[:-8])
+        code = main(["run", "--artifact", str(artifact),
+                     "--pattern", str(pattern)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_without_source(self, artifacts):
+        pattern, _, _ = artifacts
+        assert main(["run", "--pattern", str(pattern)]) == 2
+
+
 class TestGenerate:
     def test_generate_round_trips(self, tmp_path, capsys):
         out_prefix = tmp_path / "tiny"
@@ -113,6 +170,27 @@ class TestBench:
 
     def test_unknown_experiment(self, capsys):
         assert main(["bench", "--experiment", "nope"]) == 2
+
+    def test_multiple_experiments_one_invocation(self, capsys):
+        code = main(["bench", "--experiment", "exp3",
+                     "--experiment", "fig6-instance", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ebchk_max_ms" in out and "min_m" in out
+
+    def test_unknown_experiment_in_list_runs_nothing(self, capsys):
+        assert main(["bench", "--experiment", "exp3",
+                     "--experiment", "nope", "--scale", "0.01"]) == 2
+        assert "ebchk_max_ms" not in capsys.readouterr().out
+
+    def test_warm_start_with_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        code = main(["bench", "--experiment", "warm-start",
+                     "--dataset", "imdb", "--scale", "0.01",
+                     "--artifact", str(artifact)])
+        assert code == 0
+        assert "warm_open" in capsys.readouterr().out
+        assert (artifact / "manifest.json").is_file()
 
     def test_fig6_via_cli(self, capsys):
         code = main(["bench", "--experiment", "fig6-instance",

@@ -89,7 +89,8 @@ class TestDbpedia:
 
     def test_rare_types_small(self, dbpedia_small):
         graph, _ = dbpedia_small
-        rare = [l for l in graph.labels() if l.startswith("rare_type_")]
+        rare = [label for label in graph.labels()
+                if label.startswith("rare_type_")]
         assert rare
         for label in rare:
             assert graph.label_count(label) <= 12
