@@ -1,10 +1,10 @@
 """CI benchmark-regression gate.
 
-Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``
-and ``benchmarks/bench_warm_start.py`` (under ``.benchmarks/``) against
-the committed floors in ``benchmarks/baselines.json`` and exits
-non-zero when any metric drops more than ``TOLERANCE`` below its
-baseline.
+Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``,
+``benchmarks/bench_warm_start.py`` and ``benchmarks/bench_serve.py``
+(under ``.benchmarks/``) against the committed floors in
+``benchmarks/baselines.json`` and exits non-zero when any metric drops
+more than ``TOLERANCE`` below its baseline.
 
 Intentional perf changes: update ``baselines.json`` in the same PR and
 apply the ``perf-regression-ok`` label, which makes the workflow skip
@@ -47,6 +47,8 @@ def current_metrics(results_dir: Path) -> dict:
     by_mode = {row["mode"]: row for row in throughput["rows"]}
     warm = _load(results_dir / "warm_start.json")
     warm_by_mode = {row["mode"]: row for row in warm["rows"]}
+    serve = _load(results_dir / "serve.json")
+    serve_by_mode = {row["mode"]: row for row in serve["rows"]}
     return {
         "engine_throughput": {
             "prepared_qps": by_mode["prepared"]["qps"],
@@ -56,6 +58,11 @@ def current_metrics(results_dir: Path) -> dict:
             "open_speedup": warm_by_mode["warm_open"]["open_speedup"],
             "prepare_speedup":
                 warm_by_mode["prepared_reuse"]["prepare_speedup"],
+        },
+        "serve": {
+            "speedup_vs_prepared":
+                serve_by_mode["serve_concurrent"]["speedup_vs_prepared"],
+            "concurrent_qps": serve_by_mode["serve_concurrent"]["qps"],
         },
     }
 

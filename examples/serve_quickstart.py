@@ -1,0 +1,104 @@
+"""Compile -> serve -> query: the concurrent query service end to end.
+
+The paper's bound is an *admission-control signal*: a compiled plan
+declares the worst-case amount of data it can touch before it fetches
+anything, so a service can guarantee per-query cost up front — reject
+what would be expensive, serve everything else at high concurrency from
+one shared frozen engine.
+
+This example plays all three roles in one process:
+
+1. **Compile** — build an engine over the IMDb stand-in, pre-compile the
+   workload's shapes, persist the artifact (``repro compile``).
+2. **Serve** — start the query service on a background thread,
+   warm-started from the artifact, with a cost budget
+   (``repro serve --artifact ... --max-cost ...``).
+3. **Query** — drive it with the client library: admitted queries,
+   an over-budget rejection, a live metrics snapshot, and a hot reload.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_quickstart.py
+
+See examples/README.md for the equivalent CLI commands.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import QueryEngine
+from repro.errors import AdmissionRejected
+from repro.pattern import parse_pattern
+from repro.server import QueryService, ServeClient, ServerThread
+
+WORKLOAD = {
+    "movie-year": "m: movie; y: year; m -> y",
+    "awarded-movie": "aw: award; m: movie; y: year; m -> aw; m -> y",
+}
+
+#: Deliberately more expensive than the budget below: three fetch hops.
+EXPENSIVE = ("aw: award; m: movie; a: actor; y: year; "
+             "m -> aw; m -> a; m -> y")
+
+
+def main() -> None:
+    from repro.graph.generators import imdb_like
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        artifact = Path(tmp) / "imdb"
+
+        # 1. Compile: pay snapshot + index build + planning once.
+        graph, schema = imdb_like(scale=0.02, seed=7)
+        compiler = QueryEngine.open(graph, schema)
+        for text in WORKLOAD.values():
+            compiler.prepare(parse_pattern(text))
+        compiler.save(artifact)
+        budget = max(
+            compiler.prepare(parse_pattern(t)).worst_case_total_accessed
+            for t in WORKLOAD.values())
+        print(f"compiled {artifact.name}: {graph.num_nodes} nodes, "
+              f"budget = {budget:g} (the workload's own worst bound)\n")
+
+        # 2. Serve: warm-start from the artifact, enforce the budget.
+        service = QueryService(QueryEngine.open_path(artifact),
+                               max_cost=budget, workers=2)
+        with ServerThread(service) as handle:
+            print(f"serving on {handle.host}:{handle.port}\n")
+            with ServeClient(handle.host, handle.port) as client:
+                # 3a. Admitted queries: bound checked, then executed.
+                for name, text in WORKLOAD.items():
+                    result = client.query(text, limit=3)
+                    print(f"{name}: {result.answer_count} matches, "
+                          f"bound {result.cost:g}, "
+                          f"accessed {result.accessed} items")
+
+                # 3b. Over budget: typed rejection, nothing executed.
+                try:
+                    client.query(EXPENSIVE)
+                except AdmissionRejected as exc:
+                    print(f"\nrejected: bound {exc.cost:g} > "
+                          f"budget {exc.budget:g} "
+                          f"(typed {type(exc).__name__})")
+
+                # 3c. Live metrics.
+                snapshot = client.metrics()
+                print(f"\nmetrics: answered={snapshot['answered']} "
+                      f"rejected={snapshot['rejected']['over_budget']} "
+                      f"p50={snapshot['latency_ms']['p50']:.2f} ms "
+                      f"cache_hit_rate="
+                      f"{snapshot['plan_cache']['hit_rate']:.2f}")
+
+                # 3d. Hot reload: recompile and swap without downtime.
+                compiler.save(artifact)
+                info = client.reload(artifact)
+                print(f"reloaded artifact in place: "
+                      f"{info['cached_plans']} cached plans, "
+                      f"in-flight requests unaffected")
+                client.shutdown()
+        print("\nserver drained and stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,11 +53,14 @@ from repro.core import (
 )
 from repro.engine import PlanCache, PreparedQuery, QueryEngine
 from repro.errors import (
+    AdmissionRejected,
     ConstraintViolation,
+    DeadlineExceeded,
     EngineError,
     MatchTimeout,
     NotEffectivelyBounded,
     ReproError,
+    ServerError,
 )
 from repro.graph import FrozenGraph, Graph, GraphDelta
 from repro.matching import (
@@ -77,9 +80,11 @@ __all__ = [
     "AccessConstraint",
     "AccessSchema",
     "AccessStats",
+    "AdmissionRejected",
     "BoundednessResult",
     "ConstraintIndex",
     "ConstraintViolation",
+    "DeadlineExceeded",
     "EEPResult",
     "EngineError",
     "ExecutionResult",
@@ -98,6 +103,7 @@ __all__ = [
     "QueryPlan",
     "ReproError",
     "SchemaIndex",
+    "ServerError",
     "bsim",
     "bvf2",
     "count_matches",

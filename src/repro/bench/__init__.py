@@ -21,10 +21,11 @@ from repro.bench.harness import (
     fig5_varying_g,
     fig5_varying_q,
     fig6_instance_bounded,
+    serve_load,
     timed,
     warm_start,
 )
-from repro.bench.reporting import render_series, render_table
+from repro.bench.reporting import latency_summary, render_series, render_table
 
 __all__ = [
     "get_dataset",
@@ -39,8 +40,10 @@ __all__ = [
     "fig5_varying_g",
     "fig5_varying_q",
     "fig6_instance_bounded",
+    "serve_load",
     "timed",
     "warm_start",
+    "latency_summary",
     "render_series",
     "render_table",
 ]

@@ -15,6 +15,8 @@ exp3_algorithm_times      Expt-3 — EBChk/QPlan/sEBChk/sQPlan latency
 engine_throughput         (new) cold vs prepared vs batched queries/sec
 warm_start                (new) cold build vs artifact warm-open vs
                           prepared-plan reuse (repro.engine.persist)
+serve_load                (new) concurrent query service vs
+                          single-threaded prepared serving (repro.server)
 ========================  =====================================
 
 Bounded evaluation goes through :class:`~repro.engine.engine.QueryEngine`
@@ -392,6 +394,119 @@ def warm_start(dataset: str = "imdb", scale: float = 0.05,
          "prepare_speedup": (cold_prepare_s / warm_prepare_s
                              if warm_prepare_s else None)},
     ]
+
+
+# ------------------------------------------------------------ serve load
+def serve_load(dataset: str = "imdb", scale: float = 0.05,
+               distinct: int = 8, requests_per_client: int = 50,
+               clients: int = 8, workers: int = 4,
+               semantics: str = SUBGRAPH, artifact: str | None = None,
+               seed: int = 42) -> list[dict]:
+    """Concurrent query service vs single-threaded prepared serving.
+
+    Two ways of answering the same workload (``clients *
+    requests_per_client`` requests round-robin over ``distinct`` bounded
+    patterns):
+
+    * ``prepared_single`` — one warm engine session answering requests
+      one at a time (``refresh=True``: every request pays a real
+      execution — the strongest serial baseline, cf.
+      :func:`engine_throughput`'s ``prepared`` mode);
+    * ``serve_concurrent`` — a :class:`~repro.server.QueryService`
+      behind the asyncio TCP front-end, ``clients`` synchronous
+      connections hammering it concurrently; micro-batching funnels
+      duplicates through ``query_batch`` and repeats hit the answer
+      memo, which is exactly the amortization the service exists for.
+
+    The service's admission budget is set to the workload's own maximum
+    plan bound, and one strictly-more-expensive *probe* pattern is sent
+    from each client; the row records that every probe was rejected with
+    the typed :class:`~repro.errors.AdmissionRejected` (never silently
+    executed). Latency columns use the shared percentile helper.
+
+    With ``artifact`` given, the serving engine warm-starts from it
+    (``repro compile`` output for the same dataset and scale).
+    """
+    from repro.errors import AdmissionRejected
+    from repro.pattern.dsl import format_pattern
+    from repro.server import QueryService, ServeClient, ServerThread
+    from repro.server.client import run_load
+    from repro.bench.reporting import latency_summary
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    bounded = _bounded_queries(pool, schema, semantics, limit=4 * distinct)
+
+    def open_engine() -> QueryEngine:
+        if artifact is not None:
+            return QueryEngine.open_path(artifact)
+        return QueryEngine.open(graph, schema)
+
+    # Plan bounds are known before execution; the served workload is the
+    # most expensive `distinct` patterns that still fit under the budget
+    # (real execution cost per request), the budget is their maximum
+    # bound, and the over-budget probe is the strictly-more-expensive
+    # pattern at the top of the pool.
+    cost_engine = open_engine()
+    costed = sorted(
+        ((cost_engine.prepare(q, semantics).worst_case_total_accessed, i, q)
+         for i, q in enumerate(bounded)),
+        key=lambda item: item[:2])
+    max_cost = costed[-1][0]
+    eligible = [(cost, q) for cost, _, q in costed if cost < max_cost]
+    if len(eligible) < 2:
+        raise BenchmarkError(
+            f"workload for {dataset}@{scale} has no plan-bound variety; "
+            f"cannot stage an over-budget rejection")
+    workload = [q for _, q in eligible[-distinct:]]
+    budget = max(cost for cost, _ in eligible[-distinct:])
+    probe = costed[-1][2]
+
+    total_requests = clients * requests_per_client
+    rows = []
+
+    baseline = open_engine()
+    for query in workload:
+        baseline.prepare(query, semantics)
+    latencies = []
+    start = time.perf_counter()
+    for i in range(total_requests):
+        t0 = time.perf_counter()
+        baseline.query(workload[i % len(workload)], semantics, refresh=True)
+        latencies.append(time.perf_counter() - t0)
+    baseline_seconds = time.perf_counter() - start
+    baseline_qps = total_requests / baseline_seconds
+    rows.append({"mode": "prepared_single", "requests": total_requests,
+                 "seconds": baseline_seconds, "qps": baseline_qps,
+                 **latency_summary(latencies)})
+
+    service = QueryService(open_engine(), max_cost=budget, workers=workers)
+    texts = [format_pattern(q) for q in workload]
+    probe_text = format_pattern(probe)
+    with ServerThread(service) as handle:
+        report = run_load(handle.host, handle.port, texts,
+                          requests=requests_per_client, clients=clients,
+                          semantics=semantics)
+        rejections, rejection_error = 0, None
+        with ServeClient(handle.host, handle.port) as client:
+            for _ in range(clients):
+                try:
+                    client.query(probe_text, semantics)
+                except AdmissionRejected as exc:
+                    rejections += 1
+                    rejection_error = type(exc).__name__
+            snapshot = client.metrics()
+    rows.append({"mode": "serve_concurrent", "clients": clients,
+                 "workers": workers, "requests": report["requests"],
+                 "seconds": report["seconds"], "qps": report["qps"],
+                 **latency_summary(report["latencies_s"]),
+                 "speedup_vs_prepared": report["qps"] / baseline_qps,
+                 "admission_budget": budget,
+                 "rejected_over_budget": rejections,
+                 "rejection_error": rejection_error,
+                 "mean_batch_size": snapshot["mean_batch_size"],
+                 "plan_cache_hit_rate": snapshot["plan_cache"]["hit_rate"]})
+    return rows
 
 
 # ------------------------------------------------------- engine throughput

@@ -10,6 +10,8 @@ Subcommands::
     repro compile  --dataset imdb --scale 0.05 --out art/
     repro compile  --inspect art/                       # artifact metadata
     repro generate --dataset imdb --scale 0.05 --out prefix
+    repro serve    --artifact art/ [--port 8642] [--workers 4]
+                   [--max-cost 50000]
     repro bench    --experiment exp1 [--experiment ...] [--dataset imdb]
                    [--scale 0.05] [--artifact art/]
 
@@ -146,6 +148,56 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import QueryServer, QueryService
+
+    if args.artifact:
+        engine = QueryEngine.open_path(args.artifact, validate=args.validate)
+    elif args.graph and args.schema:
+        schema = AccessSchema.load(args.schema)
+        engine = QueryEngine.open(_load_graph(args.graph), schema,
+                                  validate=args.validate)
+    elif args.dataset:
+        from repro.bench.datasets import get_dataset
+        graph, schema = get_dataset(args.dataset, args.scale, seed=args.seed)
+        engine = QueryEngine.open(graph, schema, validate=args.validate)
+    else:
+        print("serve requires --artifact, --graph and --schema, or "
+              "--dataset", file=sys.stderr)
+        return 2
+    service = QueryService(engine, max_cost=args.max_cost,
+                           workers=args.workers, max_batch=args.max_batch,
+                           batch_window_ms=args.batch_window_ms,
+                           max_queue=args.max_queue)
+
+    async def _serve() -> None:
+        server = QueryServer(service, host=args.host, port=args.port)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        budget = "unlimited" if args.max_cost is None \
+            else f"{args.max_cost:g}"
+        print(f"serving on {server.host}:{server.port} "
+              f"(workers={service.workers}, max-cost={budget}, "
+              f"graph={engine.graph.num_nodes} nodes "
+              f"{engine.graph.num_edges} edges)", flush=True)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_serve())
+    snapshot = service.metrics.snapshot()
+    print(f"shutdown complete: answered={snapshot['answered']} "
+          f"rejected={sum(snapshot['rejected'].values())} "
+          f"errors={snapshot['errors']}")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     from repro.bench.datasets import GENERATORS
     try:
@@ -182,6 +234,7 @@ def _cmd_bench(args) -> int:
         fig5_varying_q,
         fig6_instance_bounded,
         render_table,
+        serve_load,
         warm_start,
     )
     per_dataset = {
@@ -195,6 +248,7 @@ def _cmd_bench(args) -> int:
     artifact_aware = {
         "engine-throughput": engine_throughput,
         "warm-start": warm_start,
+        "serve-load": serve_load,
     }
     experiments = args.experiment
     known = {"exp1", "exp3", *per_dataset, *artifact_aware}
@@ -279,6 +333,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_semantics(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve pattern queries concurrently over TCP")
+    p_serve.add_argument("--artifact",
+                         help="warm-start the serving engine from a "
+                              "compiled artifact directory (the intended "
+                              "deployment path)")
+    p_serve.add_argument("--graph", help="graph file (TSV/JSON)")
+    p_serve.add_argument("--schema", help="schema JSON")
+    p_serve.add_argument("--dataset",
+                         help="serve a generated dataset stand-in instead")
+    p_serve.add_argument("--scale", type=float, default=0.05)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 binds an ephemeral port, "
+                              "printed on startup)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="worker threads executing query batches")
+    p_serve.add_argument("--max-cost", type=float, default=None,
+                         help="admission budget: reject queries whose "
+                              "worst-case access bound exceeds this "
+                              "(default: admit any bounded query)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="max requests funnelled into one "
+                              "query_batch call")
+    p_serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                         help="extra wait for stragglers once the queue "
+                              "is drained (0 = adaptive batching only)")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="queued-request bound before load shedding")
+    p_serve.add_argument("--validate", action="store_true",
+                         help="verify G |= A before serving")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_gen = sub.add_parser("generate", help="emit a synthetic dataset")
     p_gen.add_argument("--dataset", required=True)
     p_gen.add_argument("--scale", type=float, default=0.05)
@@ -296,13 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
                               " | fig5-varying-a | fig5-index-size"
                               " | fig6-instance | engine-throughput"
-                              " | warm-start; repeatable — experiments in "
-                              "one invocation share one dataset build")
+                              " | warm-start | serve-load; repeatable — "
+                              "experiments in one invocation share one "
+                              "dataset build")
     p_bench.add_argument("--dataset", default="imdb")
     p_bench.add_argument("--scale", type=float, default=0.05)
     p_bench.add_argument("--artifact",
                          help="compiled artifact for artifact-aware "
-                              "experiments (engine-throughput, warm-start)")
+                              "experiments (engine-throughput, warm-start, "
+                              "serve-load)")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -28,6 +28,7 @@ so they run on either variant unchanged.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from itertools import product
 from typing import Iterable, Sequence
@@ -241,15 +242,20 @@ class FrozenConstraintIndex(BaseConstraintIndex):
     An instance created by :meth:`from_buffers` (the artifact warm-start
     path) holds the flat int64 buffers and decodes them into the entry
     dict **lazily on first access**, so opening an artifact pays only for
-    the constraints a workload actually touches.
+    the constraints a workload actually touches. The decode is guarded by
+    a per-instance lock: concurrent first-touch from several worker
+    threads (the query server's executor pool) publishes exactly one
+    entry dict, and no thread can observe the half-built state where the
+    buffers are already dropped but the entries are not yet assigned.
     """
 
-    __slots__ = ("constraint", "_entry_data", "_raw_buffers")
+    __slots__ = ("constraint", "_entry_data", "_raw_buffers", "_decode_lock")
 
     def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None):
         self.constraint = constraint
         self._entry_data: dict[tuple[int, ...], tuple[int, ...]] | None = {}
         self._raw_buffers = None
+        self._decode_lock = threading.Lock()
         if graph is not None:
             self.build(graph)
 
@@ -257,8 +263,15 @@ class FrozenConstraintIndex(BaseConstraintIndex):
     def _entries(self) -> dict[tuple[int, ...], tuple[int, ...]]:
         entries = self._entry_data
         if entries is None:
-            entries = self._entry_data = self._decode_buffers()
-            self._raw_buffers = None
+            with self._decode_lock:
+                entries = self._entry_data
+                if entries is None:
+                    entries = self._decode_buffers()
+                    # Publish the finished dict before releasing the raw
+                    # buffers: unlocked readers only ever see None (and
+                    # take the lock) or the complete mapping.
+                    self._entry_data = entries
+                    self._raw_buffers = None
         return entries
 
     def build(self, graph: GraphView) -> "FrozenConstraintIndex":

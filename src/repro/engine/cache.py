@@ -16,6 +16,7 @@ patterns rather than enumerating huge permutation spaces.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from itertools import permutations, product
 from typing import Hashable, Iterable
@@ -108,7 +109,10 @@ class PlanCache:
 
     A cache may be shared between engines **only** when they serve the
     same access schema — plans compiled for one schema are meaningless
-    under another.
+    under another. All operations take a per-cache lock, so a cache (and
+    therefore a frozen engine session) may be hit from several worker
+    threads concurrently — the query server's executor pool does exactly
+    that.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -116,6 +120,7 @@ class PlanCache:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -128,43 +133,49 @@ class PlanCache:
         engine for schema-staleness checks, so hit/miss counters reflect
         whether a compilation was actually avoided).
         """
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        if validate is not None and not validate(value):
-            del self._entries[key]
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            if validate is not None and not validate(value):
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
         """Insert/refresh an entry, evicting the least recently used."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True if it was present."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self) -> Iterable[Hashable]:
         """Keys from least to most recently used (eviction order)."""
-        return iter(self._entries.keys())
+        with self._lock:
+            return iter(list(self._entries.keys()))
 
     def items(self) -> list[tuple[Hashable, object]]:
         """``(key, value)`` pairs in eviction order, without touching the
         hit/miss counters or recency (used by artifact serialization)."""
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -21,12 +21,23 @@ everything that does not depend on the data graph:
   ``apply(delta)`` repairs indexes locally and invalidates cached
   answers (plans survive — they depend on ``Q`` and ``A`` only).
 
+**Thread safety.** A *frozen* session may serve ``prepare``/``query``/
+``query_batch`` from several threads concurrently: the graph snapshot
+and frozen indexes are read-only, the plan caches lock internally, lazy
+index decode publishes atomically, and session accounting folds under a
+lock. (The worst that concurrent duplicates can do is compute the same
+memoized answer twice — last write wins, both are correct.) The
+:mod:`repro.server` worker pool relies on exactly this contract. Mutable
+sessions (``frozen=False``) make no such promise: ``apply`` must not
+race queries.
+
 See DESIGN.md ("The QueryEngine session") for the lifecycle and cache
 keying details.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -193,6 +204,7 @@ class QueryEngine:
         # across re-prepares without the (sharable) plan cache pinning
         # this session's graph snapshot and answers.
         self._prepared = PlanCache(cache_size)
+        self._stats_lock = threading.Lock()
         self._generation = 0
         if frozen:
             snapshot = graph if isinstance(graph, FrozenGraph) \
@@ -300,10 +312,12 @@ class QueryEngine:
         entry = self._cache.get(cache_key,
                                 validate=lambda e: e.usable_by(self.schema))
         if entry is not None:
-            self.stats.record_cache_hit()
+            with self._stats_lock:
+                self.stats.record_cache_hit()
             return self._from_entry(entry, cache_key, pattern, order,
                                     semantics)
-        self.stats.record_cache_miss()
+        with self._stats_lock:
+            self.stats.record_cache_miss()
         try:
             plan = generate_plan(pattern, self.schema, semantics)
         except NotEffectivelyBounded as exc:
@@ -414,8 +428,10 @@ class QueryEngine:
     def _account(self, run_stats: AccessStats,
                  caller_stats: AccessStats | None) -> None:
         """Fold one execution's accounting into the session totals and,
-        when given, the caller's recorder."""
-        self.stats.merge(run_stats)
+        when given, the caller's recorder. The session merge is locked:
+        concurrent worker threads must not lose counts."""
+        with self._stats_lock:
+            self.stats.merge(run_stats)
         if caller_stats is not None and caller_stats is not self.stats:
             caller_stats.merge(run_stats)
 

@@ -148,6 +148,54 @@ class ArtifactStale(ArtifactError):
         super().__init__(message)
 
 
+class ServerError(ReproError):
+    """Base class for query-service failures (see :mod:`repro.server`).
+    Also raised client-side for error responses that do not map to a more
+    specific class."""
+
+
+class AdmissionRejected(ServerError):
+    """Raised when admission control refuses a query instead of running
+    it. The canonical case: the compiled plan's worst-case access bound
+    (``PreparedQuery.worst_case_total_accessed`` — the paper's bounded
+    fragment size) exceeds the service's configured cost budget. The
+    query is *never* silently executed unbounded.
+
+    Attributes
+    ----------
+    cost:
+        The rejected query's worst-case access bound, when known.
+    budget:
+        The service budget the cost exceeded, when known.
+    """
+
+    def __init__(self, message, cost=None, budget=None):
+        self.cost = cost
+        self.budget = budget
+        super().__init__(message)
+
+
+class ServiceOverloaded(AdmissionRejected):
+    """Raised when admission control sheds load: the request queue is at
+    capacity, so the query is rejected before consuming any resources
+    (``cost``/``budget`` here describe queue depth, not data access)."""
+
+
+class DeadlineExceeded(ServerError):
+    """Raised when a request's deadline expires before its answer is
+    delivered (it may have spent the deadline queued behind other work).
+
+    Attributes
+    ----------
+    deadline_ms:
+        The deadline the request carried, in milliseconds.
+    """
+
+    def __init__(self, message, deadline_ms=None):
+        self.deadline_ms = deadline_ms
+        super().__init__(message)
+
+
 class MatchTimeout(ReproError):
     """Raised when a matcher exceeds its time budget.
 

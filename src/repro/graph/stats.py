@@ -16,6 +16,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.graph.graph import GraphView
+from repro.util.percentiles import percentile
 
 
 @dataclass(frozen=True)
@@ -35,13 +36,10 @@ class DistributionSummary:
         data = sorted(values)
         if not data:
             return cls(0, 0, 0, 0.0, 0, 0, 0)
-
-        def pct(q: float) -> int:
-            return data[min(int(q * len(data)), len(data) - 1)]
-
         return cls(count=len(data), minimum=data[0], maximum=data[-1],
                    mean=sum(data) / len(data),
-                   p50=pct(0.50), p90=pct(0.90), p99=pct(0.99))
+                   p50=percentile(data, 0.50), p90=percentile(data, 0.90),
+                   p99=percentile(data, 0.99))
 
 
 def label_histogram(graph: GraphView) -> dict[str, int]:

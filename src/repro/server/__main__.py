@@ -1,0 +1,9 @@
+"""``python -m repro.server`` — the load client for a running
+``repro serve`` instance (see :mod:`repro.server.client`)."""
+
+import sys
+
+from repro.server.client import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Synchronous client library for the query service.
+
+:class:`ServeClient` speaks the JSON-lines protocol over one TCP
+connection and re-raises the service's typed errors
+(:class:`~repro.errors.AdmissionRejected`,
+:class:`~repro.errors.DeadlineExceeded`,
+:class:`~repro.errors.NotEffectivelyBounded`, ...). One client instance
+is one connection and is **not** thread-safe — concurrent load uses one
+client per thread (see :func:`run_load`).
+
+As a script, this module is the load client the CI smoke job drives
+against a background ``repro serve``::
+
+    python -m repro.server.client --port 8642 --pattern q.pat \\
+        --requests 50 --clients 4 --metrics --shutdown
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.core.actualized import SUBGRAPH
+from repro.errors import ServerError
+from repro.pattern.dsl import format_pattern
+from repro.pattern.pattern import Pattern
+from repro.server import protocol
+
+
+@dataclass
+class ServeResult:
+    """One answered query."""
+
+    semantics: str
+    answer_count: int
+    cost: float
+    accessed: int
+    #: Up to ``limit`` matches (subgraph: ``{pattern_node: data_node}``)
+    #: or pairs (simulation: ``(pattern_node, data_node)``).
+    matches: list = field(default_factory=list)
+    latency_s: float = 0.0
+
+
+class ServeClient:
+    """One connection to a :mod:`repro.server` service.
+
+    ``connect_timeout`` retries the TCP connect until the deadline — the
+    server may still be binding when a client races it up (the CI smoke
+    flow starts both back to back).
+    """
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = protocol.DEFAULT_PORT, *,
+                 timeout: float = 30.0, connect_timeout: float = 5.0):
+        self.host = host
+        self.port = port
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port),
+                                                      timeout=timeout)
+                # Request/response over tiny messages: never wait on Nagle.
+                self._sock.setsockopt(socket.IPPROTO_TCP,
+                                      socket.TCP_NODELAY, 1)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ServerError(
+                        f"cannot connect to {host}:{port} within "
+                        f"{connect_timeout:g}s — is the server running?"
+                    ) from None
+                time.sleep(0.05)
+        self._file = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------
+    def _call(self, doc: dict) -> dict:
+        if self._sock is None:
+            raise ServerError("client is closed")
+        self._next_id += 1
+        doc = {"id": self._next_id, **doc}
+        self._sock.sendall(protocol.encode(doc))
+        line = self._file.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        response = protocol.decode(line)
+        if response.get("id") != doc["id"]:
+            raise ServerError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {doc['id']!r}")
+        if not response.get("ok"):
+            protocol.raise_error(response)
+        return response
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------------
+    def query(self, pattern, semantics: str = SUBGRAPH, *,
+              deadline_ms: float | None = None,
+              limit: int | None = None) -> ServeResult:
+        """Evaluate a pattern (DSL text or a :class:`Pattern`).
+
+        Raises the same typed errors the service does; in particular an
+        over-budget query surfaces as
+        :class:`~repro.errors.AdmissionRejected` with ``cost``/``budget``
+        filled in.
+        """
+        if isinstance(pattern, Pattern):
+            pattern = format_pattern(pattern)
+        doc = {"op": "query", "pattern": pattern, "semantics": semantics}
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        if limit is not None:
+            doc["limit"] = limit
+        start = time.perf_counter()
+        response = self._call(doc)
+        latency = time.perf_counter() - start
+        return ServeResult(
+            semantics=response["semantics"],
+            answer_count=response["answer_count"],
+            cost=response["cost"],
+            accessed=response["accessed"],
+            matches=[{int(u): v for u, v in match.items()}
+                     for match in response.get("matches", [])]
+            if "matches" in response
+            else [tuple(pair) for pair in response.get("pairs", [])],
+            latency_s=latency)
+
+    def metrics(self) -> dict:
+        """The live metrics snapshot (qps, latency percentiles, cache
+        hit rate, rejection counts, queue depth, engine info)."""
+        response = self._call({"op": "metrics"})
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def ping(self) -> bool:
+        return self._call({"op": "ping"}).get("op") == "pong"
+
+    def reload(self, artifact) -> dict:
+        """Hot-swap the service onto a newly compiled artifact."""
+        response = self._call({"op": "reload", "artifact": str(artifact)})
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain and exit cleanly."""
+        return self._call({"op": "shutdown"}).get("op") == "shutdown"
+
+
+def run_load(host: str, port: int, patterns: list[str], *,
+             requests: int = 50, clients: int = 4,
+             semantics: str = SUBGRAPH, limit: int = 5,
+             connect_timeout: float = 10.0) -> dict:
+    """Drive ``requests`` round-robin queries from each of ``clients``
+    concurrent connections; returns aggregate latencies and counts.
+
+    Used by the serve bench and the CI smoke job. Each thread owns its
+    connection; any error in any thread propagates.
+    """
+    import threading
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    answers: list[int] = [0] * clients
+    errors: list[BaseException | None] = [None] * clients
+
+    def worker(slot: int) -> None:
+        try:
+            with ServeClient(host, port,
+                             connect_timeout=connect_timeout) as client:
+                for i in range(requests):
+                    pattern = patterns[(slot + i) % len(patterns)]
+                    result = client.query(pattern, semantics, limit=limit)
+                    latencies[slot].append(result.latency_s)
+                    answers[slot] += result.answer_count
+        except BaseException as exc:  # noqa: BLE001 — reported by the driver
+            errors[slot] = exc
+
+    threads = [threading.Thread(target=worker, args=(slot,), daemon=True)
+               for slot in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    for error in errors:
+        if error is not None:
+            raise error
+    all_latencies = [lat for per_client in latencies for lat in per_client]
+    return {"clients": clients, "requests": len(all_latencies),
+            "seconds": elapsed,
+            "qps": len(all_latencies) / elapsed if elapsed else 0.0,
+            "latencies_s": all_latencies, "answers": sum(answers)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    from pathlib import Path
+
+    from repro.bench.reporting import latency_summary
+
+    parser = argparse.ArgumentParser(
+        description="Load client for a running `repro serve` instance")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=protocol.DEFAULT_PORT)
+    parser.add_argument("--pattern", action="append", required=True,
+                        help="pattern file (DSL text); repeatable — "
+                             "requests round-robin across patterns")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="queries per client connection")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client connections")
+    parser.add_argument("--semantics", default=SUBGRAPH)
+    parser.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to keep retrying the first connect")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the server metrics snapshot afterwards")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to shut down cleanly at the end")
+    args = parser.parse_args(argv)
+
+    patterns = [Path(path).read_text(encoding="utf-8")
+                for path in args.pattern]
+    report = run_load(args.host, args.port, patterns,
+                      requests=args.requests, clients=args.clients,
+                      semantics=args.semantics,
+                      connect_timeout=args.connect_timeout)
+    summary = latency_summary(report["latencies_s"])
+    print(f"load: {report['requests']} requests from {report['clients']} "
+          f"clients in {report['seconds']:.2f}s = {report['qps']:.0f} qps")
+    print(f"latency ms: p50={summary['p50_ms']:.2f} "
+          f"p90={summary['p90_ms']:.2f} p99={summary['p99_ms']:.2f} "
+          f"max={summary['max_ms']:.2f}")
+    with ServeClient(args.host, args.port,
+                     connect_timeout=args.connect_timeout) as client:
+        if args.metrics:
+            snapshot = client.metrics()
+            rejected = snapshot["rejected"]
+            print(f"server: answered={snapshot['answered']} "
+                  f"qps={snapshot['qps']:.0f} "
+                  f"mean_batch={snapshot['mean_batch_size']:.2f} "
+                  f"cache_hit_rate={snapshot['plan_cache']['hit_rate']:.2f} "
+                  f"rejected={sum(rejected.values())}")
+        if args.shutdown:
+            client.shutdown()
+            print("server shutdown requested")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Live serving metrics: counters plus a sliding latency window.
+
+One :class:`ServerMetrics` per service, updated from the event loop and
+the worker threads under a single lock (every update is a few integer
+ops; contention is negligible next to query execution). Percentiles use
+the library-wide definition in :mod:`repro.util.percentiles`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.util.percentiles import summarize
+
+#: Samples kept for latency percentiles and the recent-qps estimate.
+WINDOW = 2048
+
+
+class ServerMetrics:
+    """Thread-safe counters for one :class:`~repro.server.service.QueryService`."""
+
+    def __init__(self, window: int = WINDOW):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._finished_at: deque[float] = deque(maxlen=window)
+        self.requests = 0
+        self.admitted = 0
+        self.answered = 0
+        self.rejected_over_budget = 0
+        self.rejected_overloaded = 0
+        self.rejected_unbounded = 0
+        self.deadline_expired = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.reloads = 0
+
+    # -- recording -----------------------------------------------------------
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_admitted(self) -> None:
+        with self._lock:
+            self.admitted += 1
+
+    def record_rejected(self, reason: str) -> None:
+        """``reason`` is one of ``over_budget``/``overloaded``/``unbounded``."""
+        with self._lock:
+            if reason == "over_budget":
+                self.rejected_over_budget += 1
+            elif reason == "overloaded":
+                self.rejected_overloaded += 1
+            elif reason == "unbounded":
+                self.rejected_unbounded += 1
+            else:
+                raise ValueError(f"unknown rejection reason {reason!r}")
+
+    def record_answered(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.answered += 1
+            self._latencies.append(latency_seconds)
+            self._finished_at.append(time.monotonic())
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+
+    def record_reload(self) -> None:
+        with self._lock:
+            self.reloads += 1
+
+    # -- reading -------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-serializable dict with everything the ``metrics`` op
+        reports (service-level fields; the service adds engine/queue
+        context on top)."""
+        with self._lock:
+            now = time.monotonic()
+            uptime = now - self._started
+            latencies = list(self._latencies)
+            finished = list(self._finished_at)
+            rejected = {"over_budget": self.rejected_over_budget,
+                        "overloaded": self.rejected_overloaded,
+                        "unbounded": self.rejected_unbounded}
+            counters = {
+                "requests": self.requests,
+                "admitted": self.admitted,
+                "answered": self.answered,
+                "deadline_expired": self.deadline_expired,
+                "errors": self.errors,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "reloads": self.reloads,
+            }
+        # Recent qps over the retained window; falls back to lifetime qps
+        # while the window spans the whole life of the service.
+        recent_qps = 0.0
+        if len(finished) >= 2 and finished[-1] > finished[0]:
+            recent_qps = (len(finished) - 1) / (finished[-1] - finished[0])
+        elif finished and uptime > 0:
+            recent_qps = len(finished) / uptime
+        return {
+            **counters,
+            "rejected": rejected,
+            "uptime_s": uptime,
+            "qps": (counters["answered"] / uptime) if uptime > 0 else 0.0,
+            "recent_qps": recent_qps,
+            "mean_batch_size": (counters["batched_requests"]
+                                / counters["batches"]
+                                if counters["batches"] else 0.0),
+            "latency_ms": summarize(latencies, scale=1000.0),
+        }

@@ -1,0 +1,100 @@
+"""Wire protocol of the query service: JSON lines over a byte stream.
+
+Each request and each response is one JSON object on one ``\\n``-
+terminated line (UTF-8). Requests carry an ``op`` (``query``, ``metrics``,
+``reload``, ``ping``, ``shutdown``) and an optional client-chosen ``id``
+that the response echoes, so a client may pipeline requests.
+
+Error responses are typed: ``{"ok": false, "error": "<class>",
+"message": ...}`` plus class-specific fields, where ``<class>`` is the
+name of a :mod:`repro.errors` exception. :func:`error_response` and
+:func:`raise_error` are exact inverses, so the client re-raises the same
+exception type the service raised — the contract the admission-control
+acceptance criterion ("rejected with a typed error") rests on.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    NotEffectivelyBounded,
+    ReproError,
+    ServerError,
+    ServiceOverloaded,
+)
+
+#: Upper bound on one request/response line; a longer line is a protocol
+#: error (keeps a misbehaving peer from ballooning server memory).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Default TCP port of ``repro serve`` (0x21C2 would be too cute; this is
+#: just an unassigned high port).
+DEFAULT_PORT = 8642
+
+
+def encode(doc: dict) -> bytes:
+    """One response/request line: compact JSON + newline."""
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one line into a dict; raises :class:`ServerError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServerError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ServerError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ServerError(
+            f"protocol line must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def error_response(request_id, exc: Exception) -> dict:
+    """Serialize an exception into a typed error response."""
+    doc = {"id": request_id, "ok": False,
+           "error": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, AdmissionRejected):  # covers ServiceOverloaded
+        doc["cost"] = exc.cost
+        doc["budget"] = exc.budget
+    elif isinstance(exc, DeadlineExceeded):
+        doc["deadline_ms"] = exc.deadline_ms
+    elif isinstance(exc, NotEffectivelyBounded):
+        doc["uncovered_nodes"] = list(exc.uncovered_nodes)
+        doc["uncovered_edges"] = [list(edge) for edge in exc.uncovered_edges]
+    return doc
+
+
+def raise_error(doc: dict) -> None:
+    """Re-raise the typed exception encoded by :func:`error_response`.
+
+    Unknown error classes degrade to :class:`ServerError` (an older
+    client talking to a newer server still gets a library exception).
+    """
+    name = doc.get("error", "ServerError")
+    message = doc.get("message", "server error")
+    if name == "ServiceOverloaded":
+        raise ServiceOverloaded(message, cost=doc.get("cost"),
+                                budget=doc.get("budget"))
+    if name == "AdmissionRejected":
+        raise AdmissionRejected(message, cost=doc.get("cost"),
+                                budget=doc.get("budget"))
+    if name == "DeadlineExceeded":
+        raise DeadlineExceeded(message, deadline_ms=doc.get("deadline_ms"))
+    if name == "NotEffectivelyBounded":
+        raise NotEffectivelyBounded(
+            message,
+            uncovered_nodes=doc.get("uncovered_nodes", ()),
+            uncovered_edges=[tuple(edge)
+                             for edge in doc.get("uncovered_edges", ())])
+    raise ServerError(f"{name}: {message}")
+
+
+def is_repro_error(exc: Exception) -> bool:
+    """True for exceptions safe to serialize to the peer as typed errors
+    (anything else is a server bug and is reported opaquely)."""
+    return isinstance(exc, ReproError)

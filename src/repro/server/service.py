@@ -1,0 +1,263 @@
+"""The serving core: admission control, batch execution, hot reload.
+
+:class:`QueryService` is transport-agnostic — the asyncio front-end
+(:mod:`repro.server.server`) calls :meth:`admit` on arrival and
+:meth:`execute_batch` from its worker pool, but the same methods serve
+tests and embedded use directly. One service wraps one **frozen**
+:class:`~repro.engine.engine.QueryEngine` (the thread-safe read path);
+:meth:`reload_artifact` swaps in a new engine atomically, so in-flight
+work finishes on the snapshot it started on while new admissions land on
+the new one.
+
+Admission control is where the paper pays off operationally: the plan's
+``worst_case_total_accessed`` is known at ``prepare`` time, *before* any
+data is fetched, so a query costing more than the configured budget is
+rejected with :class:`~repro.errors.AdmissionRejected` instead of ever
+executing unbounded. Unbounded queries (no plan at all) are likewise
+typed rejections, not executions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.actualized import SEMANTICS, SUBGRAPH
+from repro.engine import PlanCache, PreparedQuery, QueryEngine
+from repro.errors import (
+    AdmissionRejected,
+    NotEffectivelyBounded,
+    ReproError,
+    ServerError,
+)
+from repro.matching.simulation import relation_pairs
+from repro.pattern.dsl import parse_pattern
+from repro.pattern.pattern import Pattern
+from repro.server.metrics import ServerMetrics
+
+
+@dataclass
+class AdmittedQuery:
+    """One admitted request, ready for a worker batch.
+
+    ``prepared`` is bound to the engine that admitted it; execution goes
+    through the *current* engine's ``query_batch`` (identical answers
+    unless a reload swapped snapshots in between — then the new snapshot
+    answers, which is exactly what a reload means).
+    """
+
+    pattern: Pattern
+    semantics: str
+    cost: float
+    prepared: PreparedQuery = field(repr=False)
+    limit: int = 10
+
+
+class QueryService:
+    """Admission control + micro-batched execution over one frozen engine.
+
+    Parameters
+    ----------
+    engine:
+        A frozen :class:`QueryEngine` (the thread-safe read path).
+    max_cost:
+        Admission budget: reject queries whose worst-case access bound
+        exceeds this (``None`` admits any *bounded* query; unbounded
+        queries are always rejected).
+    workers:
+        Worker threads executing batches (the front-end owns the pool;
+        recorded here for metrics).
+    max_batch:
+        Most requests funnelled into one ``query_batch`` call.
+    batch_window_ms:
+        Extra time a forming batch waits for stragglers once the queue
+        is drained. ``0`` (default) batches adaptively: whatever queued
+        while workers were busy forms the next batch, with no added
+        latency when the service is idle.
+    max_queue:
+        Bound on queued-but-unexecuted requests; admission sheds load
+        beyond it with :class:`~repro.errors.ServiceOverloaded`.
+    answer_limit:
+        Default cap on matches/pairs returned per response (requests may
+        lower or raise it; the count is always exact).
+    """
+
+    def __init__(self, engine: QueryEngine, *, max_cost: float | None = None,
+                 workers: int = 4, max_batch: int = 32,
+                 batch_window_ms: float = 0.0, max_queue: int = 256,
+                 answer_limit: int = 10):
+        if not engine.frozen:
+            raise ServerError(
+                "QueryService requires a frozen engine session (the "
+                "thread-safe read path); updates go through compile + "
+                "hot reload instead")
+        if workers < 1 or max_batch < 1 or max_queue < 1:
+            raise ServerError("workers, max_batch and max_queue must be >= 1")
+        self._engine = engine
+        self._engine_lock = threading.Lock()
+        self.max_cost = max_cost
+        self.workers = workers
+        self.max_batch = max_batch
+        self.batch_window_ms = batch_window_ms
+        self.max_queue = max_queue
+        self.answer_limit = answer_limit
+        self.metrics = ServerMetrics()
+        # Admission parse cache: serving traffic repeats a handful of
+        # query texts, so the DSL parse is paid once per text, not per
+        # request (patterns are read-only once built — sharing is safe).
+        # PlanCache is the library's thread-safe LRU; values here are
+        # parsed Patterns keyed by raw DSL text.
+        self._parse_cache = PlanCache(maxsize=512)
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine currently serving admissions (atomic to read)."""
+        with self._engine_lock:
+            return self._engine
+
+    # -- admission -----------------------------------------------------------
+    def admit(self, pattern, semantics: str = SUBGRAPH,
+              limit: int | None = None) -> AdmittedQuery:
+        """Admission control for one query.
+
+        ``pattern`` is DSL text or a :class:`Pattern`. Raises
+        :class:`~repro.errors.NotEffectivelyBounded` when no bounded plan
+        exists and :class:`~repro.errors.AdmissionRejected` when the
+        plan's worst-case access bound exceeds ``max_cost``; either way
+        nothing touches the data graph.
+        """
+        self.metrics.record_request()
+        if isinstance(pattern, str):
+            pattern = self._parse(pattern)
+        if semantics not in SEMANTICS:
+            raise ServerError(f"unknown semantics {semantics!r}; "
+                              f"expected one of {sorted(SEMANTICS)}")
+        try:
+            prepared = self.engine.prepare(pattern, semantics)
+        except NotEffectivelyBounded:
+            self.metrics.record_rejected("unbounded")
+            raise
+        cost = prepared.worst_case_total_accessed
+        if self.max_cost is not None and cost > self.max_cost:
+            self.metrics.record_rejected("over_budget")
+            raise AdmissionRejected(
+                f"query bound {cost:g} exceeds the admission budget "
+                f"{self.max_cost:g} (worst-case data accessed; raise "
+                f"--max-cost or tighten the pattern)",
+                cost=cost, budget=self.max_cost)
+        self.metrics.record_admitted()
+        return AdmittedQuery(pattern=pattern, semantics=semantics, cost=cost,
+                             prepared=prepared,
+                             limit=self.answer_limit if limit is None
+                             else limit)
+
+    def _parse(self, text: str) -> Pattern:
+        pattern = self._parse_cache.get(text)
+        if pattern is None:
+            pattern = parse_pattern(text)
+            self._parse_cache.put(text, pattern)
+        return pattern
+
+    # -- execution -----------------------------------------------------------
+    def execute_batch(self, requests: list[AdmittedQuery]) -> list:
+        """Run one micro-batch on a worker thread.
+
+        The whole batch funnels through ``engine.query_batch``, so
+        duplicate patterns (the common case under concurrency) are
+        executed once. Returns one response body dict *or* exception per
+        request, aligned with the input — a request that fails (e.g. it
+        became unbounded after a reload swapped schemas) does not poison
+        its batch-mates.
+        """
+        engine = self.engine
+        self.metrics.record_batch(len(requests))
+        try:
+            runs = engine.query_batch(
+                [(r.pattern, r.semantics) for r in requests])
+            return [self._serialize_safe(request, run)
+                    for request, run in zip(requests, runs)]
+        except ReproError:
+            return [self._execute_one(engine, request)
+                    for request in requests]
+
+    def _execute_one(self, engine: QueryEngine, request: AdmittedQuery):
+        try:
+            run = engine.query(request.pattern, request.semantics)
+        except ReproError as exc:
+            return exc
+        return self._serialize_safe(request, run)
+
+    def _serialize_safe(self, request: AdmittedQuery, run):
+        """Serialize one answer; any failure stays that one request's
+        failure (a bad request must never poison its batch-mates)."""
+        try:
+            return self._serialize(request, run)
+        except Exception as exc:  # noqa: BLE001 — contained per request
+            return exc
+
+    def _serialize(self, request: AdmittedQuery, run) -> dict:
+        """JSON body for one answered query (the ``id``/``ok`` envelope
+        and latency accounting belong to the front-end)."""
+        body = {"semantics": request.semantics, "cost": request.cost,
+                "accessed": run.stats.total_accessed}
+        if request.semantics == SUBGRAPH:
+            matches = run.answer
+            body["answer_count"] = len(matches)
+            body["matches"] = [
+                {str(u): v for u, v in sorted(match.items())}
+                for match in matches[:max(request.limit, 0)]]
+        else:
+            pairs = sorted(relation_pairs(run.answer))
+            body["answer_count"] = len(pairs)
+            body["pairs"] = [list(pair)
+                             for pair in pairs[:max(request.limit, 0)]]
+        return body
+
+    # -- hot reload ----------------------------------------------------------
+    def reload_artifact(self, path, *, validate: bool = False) -> dict:
+        """Swap serving onto a newly compiled artifact without dropping
+        in-flight requests.
+
+        Loads the artifact (the expensive part happens *before* the
+        swap, off the serving path), then atomically replaces the engine
+        reference: batches already dispatched finish on the snapshot
+        they started on, later admissions and batches use the new one.
+        Raises the usual artifact errors
+        (:class:`~repro.errors.ArtifactCorrupt`, ...) and leaves the old
+        engine serving when the load fails.
+        """
+        engine = QueryEngine.open_path(path, frozen=True, validate=validate)
+        with self._engine_lock:
+            self._engine = engine
+        self.metrics.record_reload()
+        return {"artifact": str(path), "nodes": engine.graph.num_nodes,
+                "edges": engine.graph.num_edges,
+                "constraints": len(engine.schema),
+                "cached_plans": len(engine.plan_cache)}
+
+    # -- inspection ----------------------------------------------------------
+    def snapshot(self, queue_depth: int = 0) -> dict:
+        """The ``metrics`` endpoint payload: live counters + latency
+        percentiles + engine/cache context."""
+        engine = self.engine
+        doc = self.metrics.snapshot()
+        cache = engine.cache_info()
+        lookups = cache["hits"] + cache["misses"]
+        doc.update({
+            "queue_depth": queue_depth,
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "batch_window_ms": self.batch_window_ms,
+            "max_queue": self.max_queue,
+            "max_cost": self.max_cost,
+            "plan_cache": {**cache,
+                           "hit_rate": (cache["hits"] / lookups)
+                           if lookups else 0.0},
+            "engine": {"nodes": engine.graph.num_nodes,
+                       "edges": engine.graph.num_edges,
+                       "constraints": len(engine.schema),
+                       "frozen": engine.frozen,
+                       "artifact": (str(engine.artifact_path)
+                                    if engine.artifact_path else None)},
+        })
+        return doc

@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependencies on the rest of the library."""
+
+from repro.util.percentiles import percentile, percentiles, summarize
+
+__all__ = ["percentile", "percentiles", "summarize"]
