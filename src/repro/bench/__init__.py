@@ -22,6 +22,7 @@ from repro.bench.harness import (
     fig5_varying_q,
     fig6_instance_bounded,
     serve_load,
+    shard_scaling,
     timed,
     warm_start,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "fig5_varying_q",
     "fig6_instance_bounded",
     "serve_load",
+    "shard_scaling",
     "timed",
     "warm_start",
     "latency_summary",

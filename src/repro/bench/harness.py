@@ -17,6 +17,10 @@ warm_start                (new) cold build vs artifact warm-open vs
                           prepared-plan reuse (repro.engine.persist)
 serve_load                (new) concurrent query service vs
                           single-threaded prepared serving (repro.server)
+shard_scaling             (new) scatter-gather shard execution vs the
+                          sequential engine, across worker-process
+                          counts (repro.graph.partition +
+                          repro.engine.parallel)
 ========================  =====================================
 
 Bounded evaluation goes through :class:`~repro.engine.engine.QueryEngine`
@@ -394,6 +398,125 @@ def warm_start(dataset: str = "imdb", scale: float = 0.05,
          "prepare_speedup": (cold_prepare_s / warm_prepare_s
                              if warm_prepare_s else None)},
     ]
+
+
+# --------------------------------------------------------- shard scaling
+def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
+                  shards: int = 4, worker_counts=(0, 1, 2, 4),
+                  distinct: int = 16, batches: int = 20,
+                  artifact: str | None = None, seed: int = 42) -> list[dict]:
+    """Scatter-gather shard execution vs the sequential engine.
+
+    Compiles the dataset into a sharded artifact (``shards`` halo
+    shards), opens it at each worker-process count in ``worker_counts``
+    (0 = shards held in-process), and measures prepared-query throughput
+    by pushing ``batches`` rounds of a ``distinct``-pattern workload
+    through ``query_batch`` with an explicit stats recorder (which
+    forces real executions, not answer-memo hits). The sequential row is
+    the same loop on an unsharded engine over the same graph.
+
+    Every sharded row also re-evaluates the whole workload under *both*
+    semantics and compares the canonical answer form
+    (:func:`repro.matching.bounded.canonical_answer`) against the
+    sequential engine — ``answers_identical`` must be True at every
+    shard/worker count, which is the ``Q(G_Q) = Q(G)``-preserving claim
+    of the partition.
+
+    ``speedup_vs_1worker`` is the scatter-gather scaling signal (worker
+    parallelism with IPC held constant); ``cpu_count`` is recorded
+    because that speedup is physically capped by ``min(workers,
+    cpu_count)`` — single-core machines can only show overhead.
+
+    With ``artifact`` given, the sharded artifact is written there (and
+    reused when it already exists — the CI chaining path); by default a
+    temporary directory is used.
+    """
+    import os
+    import tempfile
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.accounting import AccessStats
+    from repro.matching.bounded import canonical_answer
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    workload = _bounded_queries(pool, schema, SUBGRAPH, distinct)
+    sim_queries = _bounded_queries(pool, schema, SIMULATION, distinct)
+    if len(workload) < 2:
+        raise BenchmarkError(
+            f"workload for {dataset}@{scale} has too few bounded queries "
+            f"({len(workload)}) for the shard-scaling experiment")
+
+    sequential = QueryEngine.open(graph, schema)
+    reference = {
+        (i, semantics): canonical_answer(
+            semantics, sequential.query(q, semantics, refresh=True).answer)
+        for semantics, queries in ((SUBGRAPH, workload),
+                                   (SIMULATION, sim_queries))
+        for i, q in enumerate(queries)
+    }
+
+    def throughput(engine) -> tuple[int, float]:
+        for query in workload:
+            engine.prepare(query, SUBGRAPH)
+        served = 0
+        start = time.perf_counter()
+        for _ in range(batches):
+            runs = engine.query_batch(workload, SUBGRAPH,
+                                      stats=AccessStats())
+            served += len(runs)
+        return served, time.perf_counter() - start
+
+    def answers_identical(engine) -> bool:
+        for semantics, queries in ((SUBGRAPH, workload),
+                                   (SIMULATION, sim_queries)):
+            for i, q in enumerate(queries):
+                run = engine.query(q, semantics, stats=AccessStats())
+                if canonical_answer(semantics,
+                                    run.answer) != reference[(i, semantics)]:
+                    return False
+        return True
+
+    cpu_count = os.cpu_count() or 1
+    served, seconds = throughput(sequential)
+    sequential_qps = served / seconds
+    rows = [{"mode": "sequential", "requests": served, "seconds": seconds,
+             "qps": sequential_qps, "cpu_count": cpu_count}]
+
+    with ExitStack() as stack:
+        if artifact is None:
+            artifact = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-shards-"))
+        artifact_path = Path(artifact)
+        if not (artifact_path / "manifest.json").is_file():
+            sequential.save(artifact_path, shards=shards)
+        else:
+            from repro.engine.persist import artifact_layout
+            if artifact_layout(artifact_path) != "sharded":
+                raise BenchmarkError(
+                    f"artifact at {artifact_path} exists but is not "
+                    f"sharded; point --artifact at a fresh path or a "
+                    f"`repro compile --shards` output")
+        one_worker_qps = None
+        for workers in worker_counts:
+            with QueryEngine.open_path(artifact_path,
+                                       workers=workers) as engine:
+                identical = answers_identical(engine)
+                served, seconds = throughput(engine)
+            qps = served / seconds
+            if workers == 1:
+                one_worker_qps = qps
+            rows.append({
+                "mode": "sharded", "shards": shards, "workers": workers,
+                "requests": served, "seconds": seconds, "qps": qps,
+                "answers_identical": identical,
+                "speedup_vs_sequential": qps / sequential_qps,
+                "speedup_vs_1worker": (qps / one_worker_qps
+                                       if one_worker_qps else None),
+                "cpu_count": cpu_count,
+            })
+    return rows
 
 
 # ------------------------------------------------------------ serve load

@@ -137,14 +137,26 @@ def _cmd_compile(args) -> int:
             # Cached as a negative verdict in the artifact; still useful.
             print(f"note: {pattern_path} is not effectively bounded ({exc})",
                   file=sys.stderr)
-    manifest = engine.save(args.out)
-    total_bytes = sum(meta["bytes"] for meta in manifest["files"].values())
-    print(f"compiled artifact {args.out}: "
-          f"{manifest['graph']['nodes']} nodes, "
-          f"{manifest['graph']['edges']} edges, "
-          f"{len(manifest['index'])} constraint indexes, "
-          f"{manifest['plans']['entries']} cached plans "
-          f"({compiled} compiled now), {total_bytes} bytes")
+    manifest = engine.save(args.out, shards=args.shards)
+    if args.shards:
+        total_bytes = sum(meta["bytes"] for meta in manifest["files"].values())
+        total_bytes += sum(meta["bytes"] for meta in manifest["shards"])
+        partition = manifest["partition"]
+        print(f"compiled sharded artifact {args.out}: "
+              f"{manifest['graph']['nodes']} nodes, "
+              f"{manifest['graph']['edges']} edges across "
+              f"{partition['num_shards']} shards "
+              f"({partition['cross_edges']} cross-shard edges), "
+              f"{manifest['plans']['entries']} cached plans "
+              f"({compiled} compiled now), {total_bytes} bytes")
+    else:
+        total_bytes = sum(meta["bytes"] for meta in manifest["files"].values())
+        print(f"compiled artifact {args.out}: "
+              f"{manifest['graph']['nodes']} nodes, "
+              f"{manifest['graph']['edges']} edges, "
+              f"{len(manifest['index'])} constraint indexes, "
+              f"{manifest['plans']['entries']} cached plans "
+              f"({compiled} compiled now), {total_bytes} bytes")
     return 0
 
 
@@ -155,7 +167,12 @@ def _cmd_serve(args) -> int:
     from repro.server import QueryServer, QueryService
 
     if args.artifact:
-        engine = QueryEngine.open_path(args.artifact, validate=args.validate)
+        engine = QueryEngine.open_path(args.artifact, validate=args.validate,
+                                       workers=args.exec_workers)
+    elif args.exec_workers:
+        print("--exec-workers requires --artifact pointing at a sharded "
+              "artifact (repro compile --shards N)", file=sys.stderr)
+        return 2
     elif args.graph and args.schema:
         schema = AccessSchema.load(args.schema)
         engine = QueryEngine.open(_load_graph(args.graph), schema,
@@ -185,12 +202,16 @@ def _cmd_serve(args) -> int:
         budget = "unlimited" if args.max_cost is None \
             else f"{args.max_cost:g}"
         print(f"serving on {server.host}:{server.port} "
-              f"(workers={service.workers}, max-cost={budget}, "
+              f"(workers={service.workers}, "
+              f"exec-workers={engine.exec_workers}, max-cost={budget}, "
               f"graph={engine.graph.num_nodes} nodes "
               f"{engine.graph.num_edges} edges)", flush=True)
         await server.serve_until_shutdown()
 
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    finally:
+        service.close()
     snapshot = service.metrics.snapshot()
     print(f"shutdown complete: answered={snapshot['answered']} "
           f"rejected={sum(snapshot['rejected'].values())} "
@@ -235,6 +256,7 @@ def _cmd_bench(args) -> int:
         fig6_instance_bounded,
         render_table,
         serve_load,
+        shard_scaling,
         warm_start,
     )
     per_dataset = {
@@ -249,6 +271,7 @@ def _cmd_bench(args) -> int:
         "engine-throughput": engine_throughput,
         "warm-start": warm_start,
         "serve-load": serve_load,
+        "shard-scaling": shard_scaling,
     }
     experiments = args.experiment
     known = {"exp1", "exp3", *per_dataset, *artifact_aware}
@@ -324,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--pattern", action="append",
                            help="pattern file to pre-compile into the "
                                 "artifact's plan cache (repeatable)")
+    p_compile.add_argument("--shards", type=int, default=0,
+                           help="write a sharded artifact with this many "
+                                "halo shards (serve it with "
+                                "`repro serve --exec-workers N`)")
     p_compile.add_argument("--validate", action="store_true",
                            help="verify G |= A before saving")
     p_compile.add_argument("--inspect", metavar="ARTIFACT",
@@ -351,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "printed on startup)")
     p_serve.add_argument("--workers", type=int, default=4,
                          help="worker threads executing query batches")
+    p_serve.add_argument("--exec-workers", type=int, default=0,
+                         help="worker *processes* executing shard fetches "
+                              "(requires a sharded --artifact; 0 runs "
+                              "shards, if any, in-process)")
     p_serve.add_argument("--max-cost", type=float, default=None,
                          help="admission budget: reject queries whose "
                               "worst-case access bound exceeds this "
@@ -384,9 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
                               " | fig5-varying-a | fig5-index-size"
                               " | fig6-instance | engine-throughput"
-                              " | warm-start | serve-load; repeatable — "
-                              "experiments in one invocation share one "
-                              "dataset build")
+                              " | warm-start | serve-load | shard-scaling; "
+                              "repeatable — experiments in one invocation "
+                              "share one dataset build")
     p_bench.add_argument("--dataset", default="imdb")
     p_bench.add_argument("--scale", type=float, default=0.05)
     p_bench.add_argument("--artifact",

@@ -251,13 +251,14 @@ class FrozenConstraintIndex(BaseConstraintIndex):
 
     __slots__ = ("constraint", "_entry_data", "_raw_buffers", "_decode_lock")
 
-    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None):
+    def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None,
+                 targets: Iterable[int] | None = None):
         self.constraint = constraint
         self._entry_data: dict[tuple[int, ...], tuple[int, ...]] | None = {}
         self._raw_buffers = None
         self._decode_lock = threading.Lock()
         if graph is not None:
-            self.build(graph)
+            self.build(graph, targets=targets)
 
     @property
     def _entries(self) -> dict[tuple[int, ...], tuple[int, ...]]:
@@ -274,10 +275,20 @@ class FrozenConstraintIndex(BaseConstraintIndex):
                     self._raw_buffers = None
         return entries
 
-    def build(self, graph: GraphView) -> "FrozenConstraintIndex":
-        """Build the compact index from scratch over ``graph``."""
+    def build(self, graph: GraphView,
+              targets: Iterable[int] | None = None) -> "FrozenConstraintIndex":
+        """Build the compact index from scratch over ``graph``.
+
+        ``targets`` restricts the enumerated target nodes (they must all
+        carry the constraint's target label) — the shard-local build path
+        (:func:`repro.graph.partition.build_shard_indexes`) indexes only
+        the nodes a shard *owns*, so the union of shard entries for any
+        key equals the global entry.
+        """
         staging: dict[tuple[int, ...], set[int]] = {}
-        for w in graph.nodes_with_label(self.constraint.target):
+        if targets is None:
+            targets = graph.nodes_with_label(self.constraint.target)
+        for w in targets:
             for key in _keys_for_target(self.constraint, w, graph):
                 staging.setdefault(key, set()).add(w)
         if self.constraint.is_type1:
@@ -420,6 +431,12 @@ class SchemaIndex:
                         for c in schema)
         sx._indexes = {c: indexes[c] for c in schema}
         return sx
+
+    def constraint_at(self, position: int) -> AccessConstraint:
+        """Constraint at ``position`` in the schema's canonical order
+        (the scatter-gather task protocol addresses constraints this
+        way; see :mod:`repro.core.executor`)."""
+        return self.schema.at(position)
 
     def index_for(self, constraint: AccessConstraint) -> BaseConstraintIndex:
         try:

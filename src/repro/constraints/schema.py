@@ -149,6 +149,24 @@ class AccessSchema:
     def targets(self) -> set[str]:
         return set(self._by_target.keys())
 
+    def at(self, position: int) -> AccessConstraint:
+        """Constraint at ``position`` in canonical (insertion) order.
+
+        Artifact plan encoding and the scatter-gather task protocol both
+        refer to constraints by this position, which is stable for any
+        schema rebuilt from the same document.
+        """
+        try:
+            return self._constraints[position]
+        except IndexError:
+            raise SchemaError(
+                f"no constraint at position {position} (schema has "
+                f"{len(self._constraints)})") from None
+
+    def positions(self) -> dict[AccessConstraint, int]:
+        """``constraint -> position`` for the canonical order."""
+        return {c: i for i, c in enumerate(self._constraints)}
+
     def __contains__(self, constraint: AccessConstraint) -> bool:
         return constraint in self._seen
 

@@ -17,6 +17,25 @@ Section IV's "Building G_Q":
    arithmetic (17 923 nodes + 35 136 edges for Q0/A0). A ``probe`` check
    instead tests all candidate pairs against the adjacency store.
 
+Within one execution, identical ``(constraint, source-combo)`` fetches
+are **memoized per phase**: the first fetch is recorded in the access
+accounting, repeats are served from the execution-local memo for free.
+Node-phase and edge-phase memos are deliberately separate — an edge-phase
+fetch counts as edge examinations (the paper's Example 1 arithmetic), so
+folding the two would change what the numbers mean, not just their size.
+
+Two execution strategies share the phase logic and produce *identical*
+answers, candidate sets, ``G_Q`` and access accounting:
+
+* :func:`execute_plan` — sequential, against one
+  :class:`~repro.constraints.index.SchemaIndex`;
+* :func:`execute_plans_scatter` — scatter-gather over the shards of a
+  :class:`~repro.graph.partition.GraphPartition` (inline or in worker
+  processes, see :mod:`repro.engine.parallel`): each logical fetch is
+  scattered to every shard, per-shard payloads merge into the global
+  payload (disjoint by ownership), and many executions advance together
+  in waves so one worker round-trip carries a whole batch's work.
+
 Correctness (``Q(G_Q) = Q(G)``) holds for both semantics because every
 candidate set is a superset of the true matches (fetch operations follow
 covered S-labeled sets) and every edge of a true match is re-discovered by
@@ -64,6 +83,7 @@ class ExecutionResult:
         return self.gq.size
 
 
+# ------------------------------------------------------------------ sequential
 def execute_plan(plan: QueryPlan, schema_index: SchemaIndex,
                  stats: AccessStats | None = None,
                  edge_mode: str = MODE_PLAN) -> ExecutionResult:
@@ -80,34 +100,36 @@ def execute_plan(plan: QueryPlan, schema_index: SchemaIndex,
     stats = stats if stats is not None else AccessStats()
 
     # ---- node phase ------------------------------------------------------------
+    # Execution-local fetch memo: identical (constraint, combo) fetches
+    # issued by later operations are free and unrecorded.
+    node_memo: dict[tuple, tuple[int, ...]] = {}
     candidates: dict[int, set[int]] = {}
     for op in plan.ops:
         predicate = op.predicate
         if op.is_initial:
-            fetched = schema_index.fetch(op.constraint, (), stats=stats)
-            found = {v for v in fetched if predicate.evaluate(graph.value_of(v))}
+            combos = [()]
         else:
-            missing = [q for q in op.source_nodes if q not in candidates]
-            if missing:
-                raise PlanError(
-                    f"fetch for node {op.target} uses nodes {missing} with no "
-                    f"candidates yet; plan is out of order")
-            pools = [sorted(candidates[q]) for q in op.source_nodes]
-            raw: set[int] = set()
-            for combo in product(*pools):
-                raw.update(schema_index.fetch(op.constraint, combo, stats=stats))
-            found = {v for v in raw if predicate.evaluate(graph.value_of(v))}
+            pools = _source_pools(op, candidates)
+            combos = product(*pools)
+        raw: set[int] = set()
+        for combo in combos:
+            key = (op.constraint, combo)
+            payload = node_memo.get(key)
+            if payload is None:
+                payload = schema_index.fetch(op.constraint, combo, stats=stats)
+                node_memo[key] = payload
+            raw.update(payload)
+        found = {v for v in raw if predicate.evaluate(graph.value_of(v))}
         if op.target in candidates:
             candidates[op.target] &= found
         else:
             candidates[op.target] = found
 
-    uncovered = [u for u in pattern.nodes() if u not in candidates]
-    if uncovered:
-        raise PlanError(f"plan has no fetch operation for nodes {uncovered}")
+    _check_coverage(plan, candidates)
 
     # ---- edge phase ---------------------------------------------------------------
     edges_found: set[tuple[int, int]] = set()
+    edge_memo: dict[tuple, tuple[int, ...]] = {}
     if edge_mode == MODE_PROBE:
         for edge in pattern.edges():
             _probe_edge(edge, candidates, graph, stats, edges_found)
@@ -116,20 +138,42 @@ def execute_plan(plan: QueryPlan, schema_index: SchemaIndex,
             if check.mode == EDGE_VIA_PROBE:
                 _probe_edge(check.edge, candidates, graph, stats, edges_found)
             elif check.mode == EDGE_VIA_INDEX:
-                _index_edge(check, candidates, schema_index, stats, edges_found)
+                _index_edge(check, candidates, schema_index, stats,
+                            edges_found, edge_memo)
             else:  # pragma: no cover - defensive
                 raise UnverifiableEdge(f"unknown edge-check mode {check.mode!r}")
 
     # ---- assemble G_Q ----------------------------------------------------------------
     gq = Graph()
-    kept: set[int] = set()
-    for pool in candidates.values():
-        kept |= pool
-    for v in sorted(kept):
+    for v in _kept_nodes(candidates):
         gq.add_node(graph.label_of(v), value=graph.value_of(v), node_id=v)
     for (v, w) in edges_found:
         gq.add_edge(v, w)
     return ExecutionResult(plan=plan, gq=gq, candidates=candidates, stats=stats)
+
+
+def _source_pools(op_or_check, candidates: dict[int, set[int]]):
+    """Sorted candidate pools of the source nodes, in plan order."""
+    missing = [q for q in op_or_check.source_nodes if q not in candidates]
+    if missing:
+        raise PlanError(
+            f"fetch for node {getattr(op_or_check, 'target', op_or_check)} "
+            f"uses nodes {missing} with no candidates yet; plan is out of "
+            f"order")
+    return [sorted(candidates[q]) for q in op_or_check.source_nodes]
+
+
+def _check_coverage(plan: QueryPlan, candidates: dict[int, set[int]]) -> None:
+    uncovered = [u for u in plan.pattern.nodes() if u not in candidates]
+    if uncovered:
+        raise PlanError(f"plan has no fetch operation for nodes {uncovered}")
+
+
+def _kept_nodes(candidates: dict[int, set[int]]) -> list[int]:
+    kept: set[int] = set()
+    for pool in candidates.values():
+        kept |= pool
+    return sorted(kept)
 
 
 def _probe_edge(edge: tuple[int, int], candidates: dict[int, set[int]],
@@ -144,16 +188,13 @@ def _probe_edge(edge: tuple[int, int], candidates: dict[int, set[int]],
                 edges_found.add((va, vb))
 
 
-def _index_edge(check, candidates: dict[int, set[int]],
-                schema_index: SchemaIndex, stats: AccessStats,
-                edges_found: set[tuple[int, int]]) -> None:
-    """Index-driven verification for one query edge (paper's method).
+def _edge_check_geometry(check, candidates: dict[int, set[int]]):
+    """``(target_pool, other_pos, forward)`` for one index edge check.
 
-    Fetches common neighbours of every source-candidate combination,
-    keeps those in the target's candidate set, and resolves the query
-    edge's direction against the adjacency store.
+    ``forward`` is True when the fetched node matches the edge's head —
+    the verified data edge then runs *from* the combo's ``other`` member
+    *to* the fetched node.
     """
-    graph = schema_index.graph
     a, b = check.edge
     target = check.fetch_target
     other = a if target == b else b
@@ -163,20 +204,334 @@ def _index_edge(check, candidates: dict[int, set[int]],
         raise UnverifiableEdge(
             f"edge check for {check.edge} does not include endpoint "
             f"{other} in its source nodes") from None
+    return candidates[target], other_pos, target == b
 
-    target_pool = candidates[target]
-    pools = [sorted(candidates[q]) for q in check.source_nodes]
+
+def _index_edge(check, candidates: dict[int, set[int]],
+                schema_index: SchemaIndex, stats: AccessStats,
+                edges_found: set[tuple[int, int]],
+                edge_memo: dict[tuple, tuple[int, ...]]) -> None:
+    """Index-driven verification for one query edge (paper's method).
+
+    Fetches common neighbours of every source-candidate combination,
+    keeps those in the target's candidate set, and resolves the query
+    edge's direction against the adjacency store. Fetches repeated
+    across combos/checks are served from ``edge_memo`` unrecorded.
+    """
+    graph = schema_index.graph
+    target_pool, other_pos, forward = _edge_check_geometry(check, candidates)
+    pools = _source_pools(check, candidates)
     for combo in product(*pools):
-        fetched = schema_index.fetch(check.constraint, combo)
-        stats.record_edge_fetch(fetched)
+        key = (check.constraint, combo)
+        fetched = edge_memo.get(key)
+        if fetched is None:
+            fetched = schema_index.fetch(check.constraint, combo)
+            stats.record_edge_fetch(fetched)
+            edge_memo[key] = fetched
         vo = combo[other_pos]
         for w in fetched:
             if w not in target_pool:
                 continue
-            # The query edge is (a, b); w matches `target`, vo matches `other`.
-            if target == b:
+            # The query edge is (a, b); w matches `fetch_target`.
+            if forward:
                 if graph.has_edge(vo, w):
                     edges_found.add((vo, w))
             else:
                 if graph.has_edge(w, vo):
                     edges_found.add((w, vo))
+
+
+# -------------------------------------------------------------- scatter-gather
+# Task tuples sent to every shard (see repro.engine.parallel for the
+# shard-side handler):
+#
+#   ("fetch", cpos, [combo, ...])  -> ([payload per combo],
+#                                      {id: (label, value)})
+#   ("edge",  cpos, [combo, ...])  -> [[(w, ((fwd, back) per member)), ...]
+#                                      per combo]
+#   ("probe", a_nodes, b_nodes)    -> (pairs_checked, [(va, vb), ...])
+#
+# ``cpos`` indexes the constraint in the schema's canonical iteration
+# order (stable across processes — the same trick persist.py uses for
+# plan encoding). Per-shard "fetch"/"edge" payloads contain only targets
+# the shard *owns*, so concatenating them reconstructs the global index
+# entry exactly; "probe" counts only pairs whose source the shard owns,
+# so the pair count sums to |A|x|B| exactly once.
+
+TASK_FETCH = "fetch"
+TASK_EDGE = "edge"
+TASK_PROBE = "probe"
+
+
+class _ScatterExecution:
+    """State machine for one plan execution driven in shared waves."""
+
+    __slots__ = ("plan", "stats", "edge_mode", "constraint_pos",
+                 "candidates", "node_memo", "edge_memo", "node_info",
+                 "edges_found", "op_idx", "phase", "pending_op",
+                 "pending_edges", "done")
+
+    def __init__(self, plan: QueryPlan, constraint_pos: dict,
+                 stats: AccessStats, edge_mode: str):
+        self.plan = plan
+        self.stats = stats
+        self.edge_mode = edge_mode
+        self.constraint_pos = constraint_pos
+        self.candidates: dict[int, set[int]] = {}
+        self.node_memo: dict[tuple, tuple[int, ...]] = {}
+        self.edge_memo: dict[tuple, list] = {}
+        self.node_info: dict[int, tuple] = {}
+        self.edges_found: set[tuple[int, int]] = set()
+        self.op_idx = 0
+        self.phase = "node"
+        self.pending_op = None        # (op, combos) awaiting fetch delivery
+        self.pending_edges = None     # list of edge checks / probe edges
+        self.done = False
+
+    # -- wave protocol -------------------------------------------------------
+    def next_tasks(self) -> list[tuple]:
+        """Advance through locally-satisfiable steps; return the scatter
+        tasks this execution needs before it can advance further (empty
+        when it just finished)."""
+        while not self.done:
+            if self.phase == "node":
+                tasks = self._node_tasks()
+            else:
+                tasks = self._edge_tasks()
+            if tasks is not None:
+                return tasks
+        return []
+
+    def deliver(self, task: tuple, shard_responses: list) -> None:
+        """Merge one task's per-shard responses (exactly once per task)."""
+        kind = task[0]
+        if kind == TASK_FETCH:
+            self._deliver_fetch(task, shard_responses)
+        elif kind == TASK_EDGE:
+            self._deliver_edge(task, shard_responses)
+        else:
+            self._deliver_probe(task, shard_responses)
+
+    # -- node phase ----------------------------------------------------------
+    def _node_tasks(self):
+        ops = self.plan.ops
+        while self.op_idx < len(ops):
+            op = ops[self.op_idx]
+            combos = [()] if op.is_initial else \
+                list(product(*_source_pools(op, self.candidates)))
+            cpos = self.constraint_pos[op.constraint]
+            missing = [c for c in combos
+                       if (cpos, c) not in self.node_memo]
+            if missing:
+                self.pending_op = (op, combos)
+                return [(TASK_FETCH, cpos, missing)]
+            self._complete_op(op, combos)
+        _check_coverage(self.plan, self.candidates)
+        self.phase = "edge"
+        return None
+
+    def _complete_op(self, op, combos) -> None:
+        cpos = self.constraint_pos[op.constraint]
+        raw: set[int] = set()
+        for combo in combos:
+            raw.update(self.node_memo[(cpos, combo)])
+        info = self.node_info
+        found = {v for v in raw if op.predicate.evaluate(info[v][1])}
+        if op.target in self.candidates:
+            self.candidates[op.target] &= found
+        else:
+            self.candidates[op.target] = found
+        self.op_idx += 1
+
+    def _deliver_fetch(self, task, shard_responses) -> None:
+        _, cpos, combos = task
+        merged_payloads = [[] for _ in combos]
+        for payloads, info in shard_responses:
+            for i, payload in enumerate(payloads):
+                merged_payloads[i].extend(payload)
+            self.node_info.update(info)
+        for combo, payload in zip(combos, merged_payloads):
+            merged = tuple(sorted(payload))
+            self.node_memo[(cpos, combo)] = merged
+            self.stats.record_fetch(merged)
+        if self.pending_op is not None:
+            op, op_combos = self.pending_op
+            self.pending_op = None
+            self._complete_op(op, op_combos)
+
+    # -- edge phase ----------------------------------------------------------
+    def _edge_tasks(self):
+        if self.pending_edges is None:
+            # All edge checks are independent given the final candidate
+            # sets, so the whole phase needs at most one wave.
+            if self.edge_mode == MODE_PROBE:
+                checks = [(EDGE_VIA_PROBE, edge)
+                          for edge in self.plan.pattern.edges()]
+            else:
+                checks = []
+                for check in self.plan.edge_checks:
+                    if check.mode == EDGE_VIA_PROBE:
+                        checks.append((EDGE_VIA_PROBE, check.edge))
+                    elif check.mode == EDGE_VIA_INDEX:
+                        checks.append((EDGE_VIA_INDEX, check))
+                    else:  # pragma: no cover - defensive
+                        raise UnverifiableEdge(
+                            f"unknown edge-check mode {check.mode!r}")
+            self.pending_edges = checks
+            tasks = []
+            missing_by_cpos: dict[int, list] = {}
+            seen_by_cpos: dict[int, set] = {}
+            for kind, item in checks:
+                if kind == EDGE_VIA_PROBE:
+                    a, b = item
+                    tasks.append((TASK_PROBE, sorted(self.candidates[a]),
+                                  sorted(self.candidates[b])))
+                else:
+                    # Validate geometry before scattering any work.
+                    _edge_check_geometry(item, self.candidates)
+                    cpos = self.constraint_pos[item.constraint]
+                    missing = missing_by_cpos.setdefault(cpos, [])
+                    seen = seen_by_cpos.setdefault(cpos, set())
+                    for combo in product(*_source_pools(item,
+                                                        self.candidates)):
+                        if (cpos, combo) not in self.edge_memo \
+                                and combo not in seen:
+                            seen.add(combo)
+                            missing.append(combo)
+            tasks.extend((TASK_EDGE, cpos, combos)
+                         for cpos, combos in missing_by_cpos.items() if combos)
+            if tasks:
+                return tasks
+        self._finalize_edges()
+        return None
+
+    def _deliver_edge(self, task, shard_responses) -> None:
+        _, cpos, combos = task
+        merged = [[] for _ in combos]
+        for payloads in shard_responses:
+            for i, payload in enumerate(payloads):
+                merged[i].extend(payload)
+        for combo, entries in zip(combos, merged):
+            entries.sort()
+            self.edge_memo[(cpos, combo)] = entries
+            self.stats.record_edge_fetch([w for w, _ in entries])
+
+    def _deliver_probe(self, task, shard_responses) -> None:
+        checked = 0
+        for count, found in shard_responses:
+            checked += count
+            self.edges_found.update(found)
+        self.stats.record_edge_checks(checked)
+
+    def _finalize_edges(self) -> None:
+        for kind, item in self.pending_edges:
+            if kind != EDGE_VIA_INDEX:
+                continue  # probe edges were folded in at delivery
+            target_pool, other_pos, forward = _edge_check_geometry(
+                item, self.candidates)
+            cpos = self.constraint_pos[item.constraint]
+            for combo in product(*_source_pools(item, self.candidates)):
+                vo = combo[other_pos]
+                for w, flags in self.edge_memo[(cpos, combo)]:
+                    if w not in target_pool:
+                        continue
+                    fwd, back = flags[other_pos]
+                    if forward:
+                        if fwd:
+                            self.edges_found.add((vo, w))
+                    elif back:
+                        self.edges_found.add((w, vo))
+        self.pending_edges = None
+        self.done = True
+
+    # -- assembly ------------------------------------------------------------
+    def result(self) -> ExecutionResult:
+        gq = Graph()
+        info = self.node_info
+        for v in _kept_nodes(self.candidates):
+            label, value = info[v]
+            gq.add_node(label, value=value, node_id=v)
+        for (v, w) in self.edges_found:
+            gq.add_edge(v, w)
+        return ExecutionResult(plan=self.plan, gq=gq,
+                               candidates=self.candidates, stats=self.stats)
+
+
+def execute_plans_scatter(plans: list[QueryPlan], backend,
+                          stats_list: list[AccessStats] | None = None,
+                          edge_mode: str = MODE_PLAN) -> list[ExecutionResult]:
+    """Execute ``plans`` by scatter-gather over ``backend``'s shards.
+
+    ``backend`` is a shard backend from :mod:`repro.engine.parallel`
+    (inline shards or a worker-process pool). All executions advance
+    together: each wave gathers every execution's outstanding fetches
+    into one scatter round, so a batch of queries costs a handful of
+    worker round-trips rather than one per fetch. Answers, candidate
+    sets, ``G_Q`` and access accounting are identical to
+    :func:`execute_plan` on the unpartitioned graph.
+    """
+    if edge_mode not in (MODE_PLAN, MODE_PROBE):
+        raise PlanError(f"unknown edge mode {edge_mode!r}")
+    if stats_list is None:
+        stats_list = [AccessStats() for _ in plans]
+    constraint_pos = backend.constraint_pos
+    exes = [_ScatterExecution(plan, constraint_pos, stats, edge_mode)
+            for plan, stats in zip(plans, stats_list)]
+    while True:
+        wave: list[tuple[_ScatterExecution, tuple]] = []
+        for exe in exes:
+            wave.extend((exe, task) for task in exe.next_tasks())
+        if not wave:
+            break
+        responses = backend.scatter([task for _, task in wave])
+        for i, (exe, task) in enumerate(wave):
+            exe.deliver(task, [shard[i] for shard in responses])
+    return [exe.result() for exe in exes]
+
+
+def run_shard_task(graph, schema_index, owned: frozenset, task: tuple):
+    """Execute one scatter task against one shard (the worker-side half
+    of the protocol above). Lives here so the sequential and sharded
+    fetch semantics stay in one module; :mod:`repro.engine.parallel`
+    calls it both inline and from worker processes."""
+    kind = task[0]
+    if kind == TASK_FETCH:
+        _, cpos, combos = task
+        constraint = schema_index.constraint_at(cpos)
+        payloads = []
+        info = {}
+        for combo in combos:
+            payload = schema_index.fetch(constraint, combo)
+            payloads.append(payload)
+            for v in payload:
+                if v not in info:
+                    info[v] = (graph.label_of(v), graph.value_of(v))
+        return payloads, info
+    if kind == TASK_EDGE:
+        _, cpos, combos = task
+        constraint = schema_index.constraint_at(cpos)
+        results = []
+        for combo in combos:
+            entries = []
+            for w in schema_index.fetch(constraint, combo):
+                # w is owned by this shard, so *all* of w's adjacency is
+                # present in the shard graph — both directions resolve
+                # locally.
+                flags = tuple((graph.has_edge(m, w), graph.has_edge(w, m))
+                              for m in combo)
+                entries.append((w, flags))
+            results.append(entries)
+        return results
+    if kind == TASK_PROBE:
+        _, a_nodes, b_nodes = task
+        checked = 0
+        found = []
+        for va in a_nodes:
+            if va not in owned:
+                continue
+            for vb in b_nodes:
+                checked += 1
+                if graph.has_edge(va, vb):
+                    found.append((va, vb))
+        return checked, found
+    raise PlanError(f"unknown shard task {kind!r}")  # pragma: no cover

@@ -14,20 +14,32 @@
 
 from repro.engine.cache import PlanCache, pattern_fingerprint
 from repro.engine.engine import PreparedQuery, QueryEngine
+from repro.engine.parallel import (
+    InlineShardBackend,
+    ProcessShardBackend,
+    ShardRuntime,
+)
 from repro.engine.persist import (
     inspect_artifact,
     load_engine,
     render_inspection,
     save_engine,
+    save_sharded_engine,
+    verify_sharded_artifact,
 )
 
 __all__ = [
+    "InlineShardBackend",
     "PlanCache",
     "PreparedQuery",
+    "ProcessShardBackend",
     "QueryEngine",
+    "ShardRuntime",
     "inspect_artifact",
     "load_engine",
     "pattern_fingerprint",
     "render_inspection",
     "save_engine",
+    "save_sharded_engine",
+    "verify_sharded_artifact",
 ]

@@ -45,8 +45,13 @@ from typing import Iterable
 from repro.accounting import AccessStats
 from repro.constraints.maintenance import MaintainedSchemaIndex, MaintenanceReport
 from repro.constraints.schema import AccessSchema
-from repro.core.actualized import SEMANTICS, SIMULATION, SUBGRAPH
-from repro.core.executor import MODE_PLAN, ExecutionResult, execute_plan
+from repro.core.actualized import SEMANTICS, SUBGRAPH
+from repro.core.executor import (
+    MODE_PLAN,
+    ExecutionResult,
+    execute_plan,
+    execute_plans_scatter,
+)
 from repro.core.plan import EdgeCheck, FetchOp, QueryPlan
 from repro.core.qplan import generate_plan
 from repro.engine.cache import PlanCache, pattern_fingerprint
@@ -115,8 +120,8 @@ class PreparedQuery:
                 edge_mode: str = MODE_PLAN) -> ExecutionResult:
         """Fetch ``G_Q`` (node + edge phases) without matching."""
         run_stats = AccessStats()
-        execution = execute_plan(self.plan, self.engine.schema_index,
-                                 stats=run_stats, edge_mode=edge_mode)
+        execution = self.engine._execute_plans(
+            [self.plan], [run_stats], edge_mode=edge_mode)[0]
         self.engine._account(run_stats, stats)
         return execution
 
@@ -133,8 +138,13 @@ class PreparedQuery:
                 and self._run_generation == self.engine.generation):
             return self._run
         run_stats = AccessStats()
-        execution = execute_plan(self.plan, self.engine.schema_index,
-                                 stats=run_stats)
+        execution = self.engine._execute_plans([self.plan], [run_stats])[0]
+        run = self._finish_run(execution)
+        self.engine._account(run_stats, stats)
+        return run
+
+    def _finish_run(self, execution: ExecutionResult) -> BoundedRun:
+        """Match inside ``G_Q`` and memoize the answer."""
         if self.semantics == SUBGRAPH:
             answer = find_matches(self.pattern, execution.gq,
                                   candidates=execution.candidates)
@@ -144,7 +154,6 @@ class PreparedQuery:
         run = BoundedRun(answer=answer, execution=execution)
         self._run = run
         self._run_generation = self.engine.generation
-        self.engine._account(run_stats, stats)
         return run
 
     @property
@@ -195,6 +204,9 @@ class QueryEngine:
         self.schema = schema
         self.frozen = frozen
         self.stats = AccessStats()
+        #: Shard backend of a sharded session (None for ordinary
+        #: sessions); see :meth:`from_shards`.
+        self._shards = None
         #: Artifact directory this session was loaded from / saved to, if
         #: any; ``apply`` marks it stale the moment the served graph
         #: diverges from the on-disk snapshot.
@@ -244,8 +256,8 @@ class QueryEngine:
 
     @classmethod
     def open_path(cls, path, *, frozen: bool = True, validate: bool = False,
-                  cache_size: int = 128,
-                  allow_stale: bool = False) -> "QueryEngine":
+                  cache_size: int = 128, allow_stale: bool = False,
+                  workers: int = 0, mp_context=None) -> "QueryEngine":
         """Warm-start a session from an artifact written by :meth:`save`.
 
         Skips graph load, index build, and EBChk/QPlan for every
@@ -256,21 +268,79 @@ class QueryEngine:
         from an untrustworthy snapshot. ``frozen=False`` thaws into a
         mutable session that supports :meth:`apply` (and pays a mutable
         index rebuild; the plan cache stays warm either way).
+
+        A *sharded* artifact (``repro compile --shards N``) opens as a
+        scatter-gather session: ``workers=0`` (default) holds every
+        shard in this process, ``workers=N`` spawns N worker processes
+        that each warm-start their shards from the per-shard
+        sub-artifacts — close the session (or use it as a context
+        manager) to shut the pool down. ``mp_context`` overrides the
+        multiprocessing start method (``fork``/``spawn``).
         """
         from repro.engine import persist
         return persist.load_engine(path, frozen=frozen, validate=validate,
                                    cache_size=cache_size,
-                                   allow_stale=allow_stale)
+                                   allow_stale=allow_stale, workers=workers,
+                                   mp_context=mp_context)
 
-    def save(self, path) -> dict:
+    @classmethod
+    def from_shards(cls, backend, schema: AccessSchema, graph_summary, *,
+                    plan_cache: PlanCache | None = None,
+                    cache_size: int = 128) -> "QueryEngine":
+        """Assemble a frozen scatter-gather session over a shard backend
+        (see :mod:`repro.engine.parallel`). The session holds no graph or
+        index of its own — only the plan compiler, the caches, and the
+        backend handle; :attr:`graph` is the partition's
+        :class:`~repro.graph.partition.GraphSummary`."""
+        engine = cls.__new__(cls)
+        engine.schema = schema
+        engine.frozen = True
+        engine.stats = AccessStats()
+        engine._shards = backend
+        engine.artifact_path = None
+        engine._cache = plan_cache if plan_cache is not None \
+            else PlanCache(cache_size)
+        engine._prepared = PlanCache(cache_size)
+        engine._stats_lock = threading.Lock()
+        engine._generation = 0
+        engine._graph = graph_summary
+        engine._maintained = None
+        engine._schema_index = None
+        return engine
+
+    def save(self, path, *, shards: int | None = None) -> dict:
         """Persist the session's compiled state (snapshot, indexes, plan
         cache) as an artifact directory; returns the manifest. A save
         from a mutable session freezes its current state, repairing any
-        staleness at ``path``."""
+        staleness at ``path``. ``shards=N`` writes the sharded layout
+        instead (partition + per-shard sub-artifacts), which is what
+        ``open_path(..., workers=N)`` serves from."""
         from repro.engine import persist
-        manifest = persist.save_engine(self, path)
+        if self._shards is not None:
+            raise EngineError(
+                "a sharded session does not hold the full graph; "
+                "re-compile from the source data (repro compile --shards) "
+                "instead of re-saving")
+        if shards:
+            manifest = persist.save_sharded_engine(self, path, shards)
+        else:
+            manifest = persist.save_engine(self, path)
         self.artifact_path = Path(path)
         return manifest
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release the shard backend (terminates worker processes for
+        ``workers=N`` sessions). Idempotent; a no-op for ordinary
+        sessions."""
+        if self._shards is not None:
+            self._shards.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- session state ---------------------------------------------------------
     @property
@@ -281,7 +351,23 @@ class QueryEngine:
     @property
     def schema_index(self):
         """The session's :class:`~repro.constraints.index.SchemaIndex`."""
+        if self._shards is not None:
+            raise EngineError(
+                "a sharded session holds its indexes in shards (possibly "
+                "in worker processes); execution goes through the "
+                "scatter-gather path, not a single schema index")
         return self._schema_index
+
+    @property
+    def sharded(self) -> bool:
+        """True for scatter-gather sessions opened from sharded artifacts."""
+        return self._shards is not None
+
+    @property
+    def exec_workers(self) -> int:
+        """Worker processes executing fetches (0 = in-process shards or
+        an ordinary unsharded session)."""
+        return self._shards.workers if self._shards is not None else 0
 
     @property
     def generation(self) -> int:
@@ -378,6 +464,11 @@ class QueryEngine:
         ``patterns`` items are :class:`~repro.pattern.pattern.Pattern`
         objects or ``(pattern, semantics)`` pairs overriding the default
         semantics. Results line up with the input order.
+
+        On a sharded session the whole batch executes in shared
+        scatter-gather waves: one worker round-trip carries every
+        distinct query's outstanding fetches, which is where the
+        worker-pool parallelism pays off.
         """
         requests: list[tuple[object, str]] = []
         for item in patterns:
@@ -386,10 +477,13 @@ class QueryEngine:
                 requests.append((pattern, item_semantics))
             else:
                 requests.append((item, semantics))
+        prepared_list = [self.prepare(pattern, item_semantics)
+                         for pattern, item_semantics in requests]
+        if self._shards is not None:
+            return self._query_batch_scatter(prepared_list, stats)
         results: list[BoundedRun] = []
         batch_runs: dict[int, BoundedRun] = {}
-        for pattern, item_semantics in requests:
-            prepared = self.prepare(pattern, item_semantics)
+        for prepared in prepared_list:
             run_key = id(prepared.plan)
             run = batch_runs.get(run_key)
             if run is None:
@@ -397,6 +491,33 @@ class QueryEngine:
                 batch_runs[run_key] = run
             results.append(run)
         return results
+
+    def _query_batch_scatter(self, prepared_list: list[PreparedQuery],
+                             stats: AccessStats | None) -> list[BoundedRun]:
+        """Batch execution on a sharded session: every distinct query
+        that cannot be served from its answer memo executes in one
+        shared wave-driven scatter call."""
+        unique: dict[int, PreparedQuery] = {}
+        for prepared in prepared_list:
+            unique.setdefault(id(prepared.plan), prepared)
+        runs: dict[int, BoundedRun] = {}
+        to_execute: list[tuple[int, PreparedQuery]] = []
+        for run_key, prepared in unique.items():
+            if (stats is None and prepared._run is not None
+                    and prepared._run_generation == self.generation):
+                runs[run_key] = prepared._run
+            else:
+                to_execute.append((run_key, prepared))
+        if to_execute:
+            stats_list = [AccessStats() for _ in to_execute]
+            executions = execute_plans_scatter(
+                [prepared.plan for _, prepared in to_execute],
+                self._shards, stats_list=stats_list)
+            for (run_key, prepared), execution, run_stats in zip(
+                    to_execute, executions, stats_list):
+                runs[run_key] = prepared._finish_run(execution)
+                self._account(run_stats, stats)
+        return [runs[id(prepared.plan)] for prepared in prepared_list]
 
     # -- updates --------------------------------------------------------------------
     def apply(self, delta: GraphDelta) -> MaintenanceReport:
@@ -425,6 +546,21 @@ class QueryEngine:
         return report
 
     # -- internals ----------------------------------------------------------------
+    def _execute_plans(self, plans: list[QueryPlan],
+                       stats_list: list[AccessStats],
+                       edge_mode: str = MODE_PLAN) -> list[ExecutionResult]:
+        """Execute compiled plans through this session's strategy:
+        sequentially against the schema index, or scatter-gather over the
+        shard backend. Answers and accounting are identical either way
+        (see :mod:`repro.core.executor`)."""
+        if self._shards is not None:
+            return execute_plans_scatter(plans, self._shards,
+                                         stats_list=stats_list,
+                                         edge_mode=edge_mode)
+        return [execute_plan(plan, self._schema_index, stats=stats,
+                             edge_mode=edge_mode)
+                for plan, stats in zip(plans, stats_list)]
+
     def _account(self, run_stats: AccessStats,
                  caller_stats: AccessStats | None) -> None:
         """Fold one execution's accounting into the session totals and,
@@ -437,6 +573,9 @@ class QueryEngine:
 
     def __repr__(self) -> str:
         kind = "frozen" if self.frozen else "mutable"
+        if self._shards is not None:
+            kind = f"sharded x{self._shards.num_shards}, " \
+                   f"workers={self._shards.workers}"
         return (f"QueryEngine({kind}, graph={self._graph!r}, "
                 f"constraints={len(self.schema)}, cache={self._cache!r})")
 

@@ -1,0 +1,264 @@
+"""Shard backends: inline shards and the multiprocessing worker pool.
+
+The scatter-gather executor (:func:`repro.core.executor.
+execute_plans_scatter`) is written against a tiny backend contract:
+
+* ``num_shards`` / ``constraint_pos`` — layout metadata;
+* ``scatter(tasks)`` — run every task against every shard, returning one
+  response list per shard, aligned with ``tasks``.
+
+Two implementations live here:
+
+* :class:`InlineShardBackend` — shards held in-process; ``scatter`` is a
+  plain loop. This is the zero-overhead default (``workers=0``) and the
+  reference the parallel backend is tested against.
+* :class:`ProcessShardBackend` — shards held by worker *processes*, each
+  warm-started from its per-shard artifact directory
+  (:mod:`repro.engine.persist`). Only task/response tuples ever cross a
+  process boundary — graphs and indexes are loaded worker-side from
+  disk, so the pool is start-method agnostic (``fork`` and ``spawn``
+  both work; CI smokes ``spawn`` on Python 3.12, the strictest mode).
+
+Thread safety: ``scatter`` takes an internal lock for the duration of a
+round, so a frozen sharded engine can serve the query server's worker
+threads — rounds serialize, which bounds IPC multiplexing complexity at
+the cost of round-level concurrency (micro-batching already funnels
+concurrent requests into shared rounds, so little is lost).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+import threading
+from typing import Sequence
+
+from repro.core.executor import run_shard_task
+from repro.errors import EngineError
+
+
+class ShardRuntime:
+    """One shard's in-memory state: halo graph, owned set, shard index."""
+
+    __slots__ = ("shard_id", "graph", "schema_index", "owned")
+
+    def __init__(self, shard_id: int, graph, schema_index,
+                 owned: Sequence[int]):
+        self.shard_id = shard_id
+        self.graph = graph
+        self.schema_index = schema_index
+        self.owned = frozenset(owned)
+
+    def handle(self, task: tuple):
+        return run_shard_task(self.graph, self.schema_index, self.owned, task)
+
+    def __repr__(self) -> str:
+        return (f"ShardRuntime({self.shard_id}, owned={len(self.owned)}, "
+                f"graph={self.graph!r})")
+
+
+class InlineShardBackend:
+    """All shards in the current process; ``scatter`` is a loop.
+
+    Frozen shard state makes concurrent ``scatter`` calls safe without
+    locking — reads only.
+    """
+
+    def __init__(self, runtimes: list[ShardRuntime], schema):
+        if not runtimes:
+            raise EngineError("a shard backend needs at least one shard")
+        self.runtimes = runtimes
+        self.constraint_pos = schema.positions()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.runtimes)
+
+    @property
+    def workers(self) -> int:
+        return 0
+
+    def scatter(self, tasks: list[tuple]) -> list[list]:
+        return [[runtime.handle(task) for task in tasks]
+                for runtime in self.runtimes]
+
+    def close(self) -> None:  # symmetric with the process backend
+        pass
+
+    def __repr__(self) -> str:
+        return f"InlineShardBackend(shards={self.num_shards})"
+
+
+# ------------------------------------------------------------- worker process
+def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
+    """Worker-process entry point (module-level: spawn-picklable).
+
+    Warm-starts the assigned shards from the sharded artifact at
+    ``artifact_path`` and serves ``("scatter", tasks)`` requests until a
+    ``("close",)`` sentinel (or EOF) arrives. Responses are
+    ``("ok", {shard_id: [response, ...]})`` or ``("error", repr)`` — a
+    failed round reports instead of wedging the parent.
+    """
+    try:
+        from repro.engine import persist
+        runtimes = persist.load_shard_runtimes(artifact_path, shard_ids)
+    except BaseException as exc:  # noqa: BLE001 — report, then exit
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", [r.shard_id for r in runtimes]))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message[0] == "close":
+            break
+        try:
+            _, tasks = message
+            payload = {runtime.shard_id: [runtime.handle(task)
+                                          for task in tasks]
+                       for runtime in runtimes}
+            conn.send(("ok", payload))
+        except BaseException as exc:  # noqa: BLE001 — keep serving
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ProcessShardBackend:
+    """Worker-process pool over the shards of a sharded artifact.
+
+    Parameters
+    ----------
+    artifact_path:
+        Sharded artifact directory every worker warm-starts from.
+    shard_ids:
+        All shard ids in the artifact, in partition order.
+    schema:
+        The access schema (for the constraint-position table).
+    workers:
+        Number of worker processes; shards are dealt round-robin, so
+        ``workers`` may be smaller than the shard count.
+    mp_context:
+        A ``multiprocessing`` context; defaults to the interpreter's
+        current start method (``multiprocessing.get_context()``), so a
+        global ``set_start_method("spawn")`` is honoured.
+    """
+
+    def __init__(self, artifact_path, shard_ids: Sequence[int], schema, *,
+                 workers: int, mp_context=None):
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.constraint_pos = schema.positions()
+        self._shard_ids = list(shard_ids)
+        self._lock = threading.Lock()
+        self._closed = False
+        ctx = mp_context if mp_context is not None \
+            else multiprocessing.get_context()
+        workers = min(workers, len(self._shard_ids))
+        assignments = [self._shard_ids[w::workers] for w in range(workers)]
+        self._workers = []
+        try:
+            for worker_shards in assignments:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, str(artifact_path), worker_shards),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._workers.append((process, parent_conn, worker_shards))
+            for process, conn, worker_shards in self._workers:
+                kind, payload = conn.recv()
+                if kind != "ready":
+                    raise EngineError(
+                        f"shard worker failed to start: {payload}")
+        except BaseException:
+            self._terminate()
+            raise
+        atexit.register(self.close)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_ids)
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    def scatter(self, tasks: list[tuple]) -> list[list]:
+        """One scatter round: every worker runs ``tasks`` on each of its
+        shards; responses come back in shard order. Rounds serialize
+        under a lock (see module docstring)."""
+        with self._lock:
+            if self._closed:
+                raise EngineError("shard worker pool is closed")
+            # Serialize the broadcast once, not once per worker
+            # (send_bytes of a pickle is what Connection.send does
+            # internally, so worker-side recv() is unchanged).
+            blob = pickle.dumps(("scatter", tasks),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            for _, conn, _ in self._workers:
+                conn.send_bytes(blob)
+            by_shard: dict[int, list] = {}
+            errors: list[str] = []
+            for _, conn, worker_shards in self._workers:
+                try:
+                    kind, payload = conn.recv()
+                except EOFError:
+                    self._closed = True
+                    self._terminate()
+                    raise EngineError(
+                        f"shard worker for shards {worker_shards} died "
+                        f"mid-round") from None
+                # Drain every worker before raising: each sends exactly
+                # one response per round, and leaving responses queued
+                # would desynchronize the next round's pipes.
+                if kind != "ok":
+                    errors.append(str(payload))
+                else:
+                    by_shard.update(payload)
+            if errors:
+                raise EngineError(f"shard worker error: {'; '.join(errors)}")
+        return [by_shard[shard_id] for shard_id in self._shard_ids]
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Drop the exit hook's strong reference: a process that
+            # opens and closes many pools must not accumulate them.
+            atexit.unregister(self.close)
+            for _, conn, _ in self._workers:
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for process, conn, _ in self._workers:
+                process.join(timeout=5)
+                conn.close()
+            self._terminate(join=False)
+
+    def _terminate(self, join: bool = True) -> None:
+        for process, _, _ in self._workers:
+            if process.is_alive():
+                process.terminate()
+                if join:
+                    process.join(timeout=5)
+
+    def __repr__(self) -> str:
+        return (f"ProcessShardBackend(shards={self.num_shards}, "
+                f"workers={len(self._workers)}, "
+                f"closed={self._closed})")
+
+
+__all__ = [
+    "InlineShardBackend",
+    "ProcessShardBackend",
+    "ShardRuntime",
+]

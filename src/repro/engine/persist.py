@@ -27,6 +27,12 @@ Artifact layout (one directory)::
     STALE             marker written by ``QueryEngine.apply`` when the
                       served graph diverges from the snapshot
 
+A *sharded* artifact (``repro compile --shards N``; see
+:func:`save_sharded_engine` and DESIGN.md "Sharded execution") nests one
+such directory per shard under a top-level manifest that also checksums
+every shard manifest, ``plans.json`` and ``partition.bin`` — corruption
+anywhere in the tree is detected at open.
+
 The binary container is struct/array-based — a magic header followed by
 named int64 sections, 8-byte aligned so loading can hand out zero-copy
 ``memoryview`` slices over one bytes object. No pickle anywhere. Every
@@ -64,6 +70,7 @@ from repro.errors import (
     ArtifactError,
     ArtifactStale,
     ArtifactVersionMismatch,
+    EngineError,
     NotEffectivelyBounded,
 )
 from repro.graph.frozen import FrozenGraph
@@ -71,8 +78,11 @@ from repro.pattern.pattern import Pattern
 from repro.pattern.predicates import Atom, Predicate
 
 #: Bump on any incompatible change to buffers, JSON layouts, or the
-#: canonical pattern fingerprint.
-FORMAT_VERSION = 1
+#: canonical pattern fingerprint. Version 2 added the sharded layout
+#: (``layout: "sharded"`` manifests referencing per-shard sub-artifacts
+#: plus ``partition.bin``); single-directory artifacts are bumped with it
+#: so one number describes the whole artifact family.
+FORMAT_VERSION = 2
 
 FORMAT_NAME = "repro-engine-artifact"
 
@@ -82,10 +92,20 @@ GRAPH_META_FILE = "graph.meta.json"
 INDEX_FILE = "index.bin"
 PLANS_FILE = "plans.json"
 STALE_FILE = "STALE"
+PARTITION_FILE = "partition.bin"
 
-#: Files whose checksums the manifest records (everything but itself and
-#: the stale marker).
+#: Files whose checksums a single-layout manifest records (everything
+#: but itself and the stale marker).
 PAYLOAD_FILES = (GRAPH_FILE, GRAPH_META_FILE, INDEX_FILE, PLANS_FILE)
+
+#: Top-level payload files of a sharded-layout artifact; each shard
+#: directory is additionally a complete single-layout artifact.
+SHARDED_PAYLOAD_FILES = (PLANS_FILE, PARTITION_FILE)
+
+
+def shard_dir_name(shard_id: int) -> str:
+    """Directory name of one shard inside a sharded artifact."""
+    return f"shard-{shard_id:04d}"
 
 _BIN_MAGIC = b"RPROBIN1"
 _ITEM = 8  # int64 buffers only
@@ -326,6 +346,7 @@ def save_engine(engine, path) -> dict:
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
+        "layout": "single",
         "library_version": __version__,
         "byteorder": sys.byteorder,
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
@@ -371,9 +392,10 @@ def _read_manifest(path: Path) -> dict:
     return manifest
 
 
-def _read_payloads(path: Path, manifest: dict) -> dict:
+def _read_payloads(path: Path, manifest: dict,
+                   expected: tuple = PAYLOAD_FILES) -> dict:
     files = manifest.get("files")
-    if not isinstance(files, dict) or set(files) != set(PAYLOAD_FILES):
+    if not isinstance(files, dict) or set(files) != set(expected):
         raise ArtifactCorrupt(
             f"artifact manifest at {path} lists unexpected files",
             path=str(path))
@@ -421,30 +443,11 @@ def mark_stale(path, reason: str) -> None:
         json.dumps({"reason": reason}) + "\n", encoding="utf-8")
 
 
-def load_engine(path, *, frozen: bool = True, validate: bool = False,
-                cache_size: int = 128, allow_stale: bool = False):
-    """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
-
-    The frozen path (default) is the warm start: CSR buffers are adopted
-    zero-copy, constraint indexes decode lazily, and the plan cache is
-    rehydrated so previously prepared canonical forms skip EBChk/QPlan.
-    ``frozen=False`` thaws the graph into a mutable session (paying a
-    mutable index rebuild) with the plan cache still warm — the only
-    loaded flavour that supports ``apply``.
-    """
-    from repro.engine.engine import QueryEngine
-
-    path = Path(path)
-    manifest = _read_manifest(path)
-    stale = stale_info(path)
-    if stale is not None and not allow_stale:
-        raise ArtifactStale(
-            f"artifact at {path} is stale ({stale.get('reason', 'unknown')}); "
-            f"re-compile it or pass allow_stale=True",
-            reason=stale.get("reason"))
+def _load_frozen_parts(path: Path, manifest: dict):
+    """``(schema, graph, indexes, plans_payload)`` from a single-layout
+    artifact directory whose manifest has already been read."""
     payloads = _read_payloads(path, manifest)
     byteswap = manifest.get("byteorder") != sys.byteorder
-
     try:
         schema = AccessSchema.from_dict(manifest["schema"])
         graph_meta = json.loads(payloads[GRAPH_META_FILE])
@@ -467,6 +470,15 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
     for i, constraint in enumerate(schema):
         indexes[constraint] = FrozenConstraintIndex.from_buffers(
             constraint, per_constraint.get(f"c{i}", {}))
+    return schema, graph, indexes, plans_payload
+
+
+def _decode_plan_cache(path: Path, plans_payload: dict, schema,
+                       cache_size: int):
+    """Rehydrate a plan cache, never letting LRU capacity silently evict
+    persisted plans on load — that would quietly re-pay EBChk/QPlan on
+    the "warm" path."""
+    from repro.engine.cache import PlanCache
 
     try:
         plan_entries = list(_decode_plan_entries(plans_payload, schema))
@@ -474,10 +486,61 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
         raise ArtifactCorrupt(
             f"malformed plan entry in {path / PLANS_FILE}: {exc}",
             path=str(path / PLANS_FILE)) from exc
-    # Never let LRU capacity silently evict persisted plans on load —
-    # that would quietly re-pay EBChk/QPlan on the "warm" path.
-    from repro.engine.cache import PlanCache
     plan_cache = PlanCache(max(cache_size, len(plan_entries), 1))
+    for cache_key, entry in plan_entries:
+        plan_cache.put(cache_key, entry)
+    return plan_cache
+
+
+def artifact_layout(path) -> str:
+    """``"single"`` or ``"sharded"`` for the artifact at ``path``.
+
+    Reads (and version-checks) the manifest only — used by callers that
+    must pick open parameters by layout, e.g. the server's hot reload.
+    """
+    return _read_manifest(Path(path)).get("layout", "single")
+
+
+def load_engine(path, *, frozen: bool = True, validate: bool = False,
+                cache_size: int = 128, allow_stale: bool = False,
+                workers: int = 0, mp_context=None):
+    """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
+
+    The frozen path (default) is the warm start: CSR buffers are adopted
+    zero-copy, constraint indexes decode lazily, and the plan cache is
+    rehydrated so previously prepared canonical forms skip EBChk/QPlan.
+    ``frozen=False`` thaws the graph into a mutable session (paying a
+    mutable index rebuild) with the plan cache still warm — the only
+    loaded flavour that supports ``apply``.
+
+    A *sharded* artifact (``repro compile --shards N``) opens as a
+    scatter-gather session instead: ``workers=0`` holds every shard
+    in-process, ``workers=N`` spawns N worker processes that each
+    warm-start their shards from the per-shard sub-artifacts (see
+    :mod:`repro.engine.parallel`). ``workers`` is rejected for
+    single-layout artifacts rather than silently ignored.
+    """
+    from repro.engine.engine import QueryEngine
+
+    path = Path(path)
+    manifest = _read_manifest(path)
+    if manifest.get("layout") == "sharded":
+        return _load_sharded_engine(path, manifest, validate=validate,
+                                    cache_size=cache_size, workers=workers,
+                                    mp_context=mp_context, frozen=frozen,
+                                    allow_stale=allow_stale)
+    if workers:
+        raise EngineError(
+            f"artifact at {path} is not sharded; open it without workers, "
+            f"or re-compile with `repro compile --shards N`")
+    stale = stale_info(path)
+    if stale is not None and not allow_stale:
+        raise ArtifactStale(
+            f"artifact at {path} is stale ({stale.get('reason', 'unknown')}); "
+            f"re-compile it or pass allow_stale=True",
+            reason=stale.get("reason"))
+    schema, graph, indexes, plans_payload = _load_frozen_parts(path, manifest)
+    plan_cache = _decode_plan_cache(path, plans_payload, schema, cache_size)
 
     if frozen:
         schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
@@ -489,9 +552,263 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                              validate=validate, cache_size=cache_size,
                              plan_cache=plan_cache)
 
-    for cache_key, entry in plan_entries:
-        engine.plan_cache.put(cache_key, entry)
+    engine.artifact_path = path
+    return engine
 
+
+# ----------------------------------------------------------------- sharded layout
+def save_sharded_engine(engine, path, shards: int) -> dict:
+    """Partition ``engine``'s graph into ``shards`` halo shards and write
+    a sharded artifact directory.
+
+    Layout::
+
+        manifest.json   layout "sharded": partition stats, schema, plan
+                        count, checksums of the top payloads *and* of
+                        every shard manifest (the root of trust covers
+                        the whole tree)
+        plans.json      the engine's plan cache (shared by all shards —
+                        plans depend on Q and A only)
+        partition.bin   per-shard owned-node id buffers
+        shard-0000/ …   one complete single-layout artifact per shard:
+                        halo graph + owned-target constraint indexes
+
+    Workers warm-start from the shard sub-artifacts, so nothing larger
+    than task/response tuples ever crosses a process boundary.
+    """
+    from repro import __version__
+    from repro.engine.cache import PlanCache
+    from repro.graph.partition import build_shard_indexes, partition_graph
+
+    if shards < 1:
+        raise EngineError(f"shards must be >= 1, got {shards}")
+    graph = engine.graph
+    if not isinstance(graph, FrozenGraph):
+        graph = FrozenGraph.from_graph(graph)
+    partition = partition_graph(graph, shards)
+    shard_indexes = build_shard_indexes(partition, engine.schema)
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    shard_meta = []
+    for shard, schema_index in zip(partition.shards, shard_indexes):
+        shard_path = path / shard_dir_name(shard.shard_id)
+        session = _ShardSession(graph=shard.graph, schema=engine.schema,
+                                schema_index=schema_index,
+                                plan_cache=PlanCache(1))
+        manifest = save_engine(session, shard_path)
+        manifest_bytes = (shard_path / MANIFEST_FILE).read_bytes()
+        shard_meta.append({
+            "dir": shard_dir_name(shard.shard_id),
+            "manifest_sha256": hashlib.sha256(manifest_bytes).hexdigest(),
+            "nodes": shard.graph.num_nodes,
+            "edges": shard.graph.num_edges,
+            "owned_nodes": len(shard.owned),
+            "owned_edges": shard.owned_edges,
+            "halo_nodes": shard.num_halo,
+            "bytes": sum(meta["bytes"]
+                         for meta in manifest["files"].values()),
+        })
+
+    partition_buffers = {
+        f"s{shard.shard_id}.owned": array("q", shard.owned)
+        for shard in partition.shards
+    }
+    plan_entries = _encode_plan_entries(engine)
+    contents = {
+        PLANS_FILE: json.dumps({"entries": plan_entries}).encode("utf-8"),
+        PARTITION_FILE: pack_buffers(partition_buffers),
+    }
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "layout": "sharded",
+        "library_version": __version__,
+        "byteorder": sys.byteorder,
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
+                  "labels": len(graph.labels())},
+        "schema": engine.schema.to_dict(),
+        "partition": {"num_shards": partition.num_shards,
+                      "cross_edges": partition.cross_edges},
+        "shards": shard_meta,
+        "plans": {"entries": len(plan_entries)},
+        "files": {name: {"sha256": hashlib.sha256(data).hexdigest(),
+                         "bytes": len(data)}
+                  for name, data in contents.items()},
+    }
+    for name, data in contents.items():
+        (path / name).write_bytes(data)
+    # Manifest last: a crash mid-save reads as corruption, never as a
+    # trustworthy artifact.
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2) + "\n",
+                                      encoding="utf-8")
+    # A fresh save is the repair for staleness, as in save_engine.
+    (path / STALE_FILE).unlink(missing_ok=True)
+    return manifest
+
+
+class _ShardSession:
+    """The slice of the ``QueryEngine`` surface :func:`save_engine`
+    needs, for saving one shard as a standard artifact."""
+
+    def __init__(self, graph, schema, schema_index, plan_cache):
+        self.graph = graph
+        self.schema = schema
+        self.schema_index = schema_index
+        self.plan_cache = plan_cache
+
+
+def _shard_manifests(path: Path, manifest: dict,
+                     only=None) -> list[tuple[int, Path, dict]]:
+    """Verify and read shard manifests against the top-level root of
+    trust; raises on any mismatch. ``only`` restricts the work to a set
+    of shard ids (workers verify just their assignment — the parent's
+    whole-tree sweep covers the rest)."""
+    shard_meta = manifest.get("shards")
+    if not isinstance(shard_meta, list) or not shard_meta:
+        raise ArtifactCorrupt(
+            f"sharded artifact at {path} lists no shards", path=str(path))
+    out = []
+    for shard_id, meta in enumerate(shard_meta):
+        if only is not None and shard_id not in only:
+            continue
+        shard_path = path / meta.get("dir", shard_dir_name(shard_id))
+        manifest_path = shard_path / MANIFEST_FILE
+        try:
+            manifest_bytes = manifest_path.read_bytes()
+        except OSError as exc:
+            raise ArtifactCorrupt(
+                f"missing shard manifest {manifest_path}: {exc}",
+                path=str(manifest_path)) from exc
+        digest = hashlib.sha256(manifest_bytes).hexdigest()
+        if digest != meta.get("manifest_sha256"):
+            raise ArtifactCorrupt(
+                f"{manifest_path}: checksum mismatch (shard "
+                f"{shard_id} is corrupt or was modified; re-compile)",
+                path=str(manifest_path))
+        out.append((shard_id, shard_path, _read_manifest(shard_path)))
+    return out
+
+
+def verify_sharded_artifact(path, manifest: dict | None = None) -> int:
+    """Eagerly checksum a sharded artifact's whole tree (top payloads,
+    every shard manifest, every shard payload). Returns the shard count;
+    raises :class:`~repro.errors.ArtifactCorrupt` on the first mismatch —
+    corrupting any single shard is detected *before* a worker ever
+    serves from it."""
+    path = Path(path)
+    if manifest is None:
+        manifest = _read_manifest(path)
+    _read_payloads(path, manifest, expected=SHARDED_PAYLOAD_FILES)
+    shard_entries = _shard_manifests(path, manifest)
+    for _, shard_path, shard_manifest in shard_entries:
+        _read_payloads(shard_path, shard_manifest)
+    return len(shard_entries)
+
+
+def load_shard_runtimes(path, shard_ids) -> list:
+    """Load the given shards of a sharded artifact into
+    :class:`~repro.engine.parallel.ShardRuntime` objects (the worker
+    warm-start path; also used inline for ``workers=0``)."""
+    from repro.engine.parallel import ShardRuntime
+
+    path = Path(path)
+    manifest = _read_manifest(path)
+    if manifest.get("layout") != "sharded":
+        raise ArtifactCorrupt(f"artifact at {path} is not sharded",
+                              path=str(path))
+    payloads = _read_payloads(path, manifest,
+                              expected=SHARDED_PAYLOAD_FILES)
+    byteswap = manifest.get("byteorder") != sys.byteorder
+    partition_buffers = unpack_buffers(payloads[PARTITION_FILE],
+                                       byteswap=byteswap,
+                                       source=PARTITION_FILE)
+    shard_ids = list(shard_ids)
+    shard_entries = {shard_id: (shard_path, shard_manifest)
+                     for shard_id, shard_path, shard_manifest
+                     in _shard_manifests(path, manifest,
+                                         only=set(shard_ids))}
+    runtimes = []
+    for shard_id in shard_ids:
+        if shard_id not in shard_entries:
+            raise ArtifactCorrupt(
+                f"sharded artifact at {path} has no shard {shard_id}",
+                path=str(path))
+        owned = partition_buffers.get(f"s{shard_id}.owned")
+        if owned is None:
+            raise ArtifactCorrupt(
+                f"{path / PARTITION_FILE} is missing the owned-node "
+                f"buffer for shard {shard_id}",
+                path=str(path / PARTITION_FILE))
+        shard_path, shard_manifest = shard_entries[shard_id]
+        schema, graph, indexes, _ = _load_frozen_parts(shard_path,
+                                                       shard_manifest)
+        schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
+        runtimes.append(ShardRuntime(shard_id, graph, schema_index,
+                                     list(owned)))
+    return runtimes
+
+
+def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
+                         cache_size: int, workers: int, mp_context,
+                         frozen: bool, allow_stale: bool = False):
+    from repro.engine.engine import QueryEngine
+    from repro.engine.parallel import InlineShardBackend, ProcessShardBackend
+    from repro.graph.partition import GraphSummary
+
+    # Same staleness contract as the single layout: a sharded artifact
+    # saved by a mutable session and then diverged via apply() must
+    # never be served silently.
+    stale = stale_info(path)
+    if stale is not None and not allow_stale:
+        raise ArtifactStale(
+            f"artifact at {path} is stale ({stale.get('reason', 'unknown')}); "
+            f"re-compile it or pass allow_stale=True",
+            reason=stale.get("reason"))
+    if not frozen:
+        raise EngineError(
+            "sharded artifacts open frozen only; incremental updates go "
+            "through re-compile (repro compile --shards) + hot reload")
+    if validate:
+        raise EngineError(
+            "validate=True is not supported for sharded artifacts: "
+            "cardinality bounds are a property of the merged index; "
+            "validate before compiling instead")
+    shard_meta = manifest.get("shards")
+    if not isinstance(shard_meta, list) or not shard_meta:
+        raise ArtifactCorrupt(
+            f"sharded artifact at {path} lists no shards", path=str(path))
+    num_shards = len(shard_meta)
+    if workers:
+        # Workers checksum-verify only the shards they load, so the
+        # whole-tree sweep runs in the parent: corrupting any single
+        # shard is detected here, before a worker ever serves from it.
+        # The inline path skips the sweep — loading every shard below
+        # performs the identical verification exactly once.
+        verify_sharded_artifact(path, manifest)
+    try:
+        schema = AccessSchema.from_dict(manifest["schema"])
+        plans_payload = json.loads((path / PLANS_FILE).read_bytes())
+        graph_info = manifest["graph"]
+        summary = GraphSummary(num_nodes=int(graph_info["nodes"]),
+                               num_edges=int(graph_info["edges"]),
+                               num_labels=int(graph_info["labels"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactCorrupt(f"malformed sharded manifest at {path}: {exc}",
+                              path=str(path)) from exc
+    plan_cache = _decode_plan_cache(path, plans_payload, schema, cache_size)
+
+    if workers:
+        backend = ProcessShardBackend(path, range(num_shards), schema,
+                                      workers=workers,
+                                      mp_context=mp_context)
+    else:
+        runtimes = load_shard_runtimes(path, range(num_shards))
+        backend = InlineShardBackend(runtimes, schema)
+    engine = QueryEngine.from_shards(backend, schema, summary,
+                                     plan_cache=plan_cache,
+                                     cache_size=cache_size)
     engine.artifact_path = path
     return engine
 
@@ -517,10 +834,11 @@ def inspect_artifact(path) -> dict:
             else:
                 status = "MISMATCH"
         files[name] = {"bytes": meta.get("bytes"), "status": status}
-    return {
+    info = {
         "path": str(path),
         "format": manifest.get("format"),
         "format_version": manifest.get("format_version"),
+        "layout": manifest.get("layout", "single"),
         "library_version": manifest.get("library_version"),
         "byteorder": manifest.get("byteorder"),
         "graph": manifest.get("graph", {}),
@@ -530,6 +848,24 @@ def inspect_artifact(path) -> dict:
         "stale": stale_info(path),
         "files": files,
     }
+    if info["layout"] == "sharded":
+        info["constraints"] = len(manifest.get("schema", {})
+                                  .get("constraints", []))
+        info["partition"] = manifest.get("partition", {})
+        shards = []
+        for shard_id, meta in enumerate(manifest.get("shards", [])):
+            shard_path = path / meta.get("dir", shard_dir_name(shard_id))
+            manifest_path = shard_path / MANIFEST_FILE
+            if not manifest_path.is_file():
+                status = "missing"
+            else:
+                digest = hashlib.sha256(
+                    manifest_path.read_bytes()).hexdigest()
+                status = "ok" if digest == meta.get("manifest_sha256") \
+                    else "MISMATCH"
+            shards.append({**meta, "status": status})
+        info["shards"] = shards
+    return info
 
 
 def render_inspection(info: dict) -> str:
@@ -538,7 +874,8 @@ def render_inspection(info: dict) -> str:
     lines = [
         f"artifact: {info['path']}",
         f"  format: {info['format']} v{info['format_version']} "
-        f"(library {info['library_version']}, {info['byteorder']}-endian)",
+        f"({info.get('layout', 'single')} layout, library "
+        f"{info['library_version']}, {info['byteorder']}-endian)",
         f"  graph: {graph.get('nodes')} nodes, {graph.get('edges')} edges, "
         f"{graph.get('labels')} labels",
         f"  constraints: {info['constraints']}",
@@ -547,6 +884,20 @@ def render_inspection(info: dict) -> str:
     ]
     for name, meta in info.get("files", {}).items():
         lines.append(f"  file {name}: {meta['bytes']} bytes [{meta['status']}]")
+    if info.get("layout") == "sharded":
+        partition = info.get("partition", {})
+        lines.append(f"  shards: {partition.get('num_shards')}, "
+                     f"cross-shard edges: {partition.get('cross_edges')}")
+        for meta in info.get("shards", ()):
+            lines.append(
+                f"    {meta.get('dir')}: {meta.get('owned_nodes')} owned + "
+                f"{meta.get('halo_nodes')} halo nodes, "
+                f"{meta.get('owned_edges')} owned edges "
+                f"({meta.get('nodes')} nodes / {meta.get('edges')} edges "
+                f"stored, {meta.get('bytes')} bytes) "
+                f"sha256 {str(meta.get('manifest_sha256'))[:12]}… "
+                f"[{meta.get('status')}]")
+        return "\n".join(lines)
     total_cells = sum(entry.get("size", 0) for entry in info.get("index", ()))
     largest = sorted(info.get("index", ()),
                      key=lambda e: e.get("size", 0), reverse=True)[:5]
@@ -564,12 +915,17 @@ def render_inspection(info: dict) -> str:
 __all__ = [
     "FORMAT_VERSION",
     "ArtifactError",
+    "artifact_layout",
     "inspect_artifact",
     "load_engine",
+    "load_shard_runtimes",
     "mark_stale",
     "pack_buffers",
     "render_inspection",
     "save_engine",
+    "save_sharded_engine",
+    "shard_dir_name",
     "stale_info",
     "unpack_buffers",
+    "verify_sharded_artifact",
 ]

@@ -45,6 +45,23 @@ class BoundedRun:
         return self.execution.gq
 
 
+def canonical_answer(semantics: str, answer) -> list:
+    """A JSON-stable, fully ordered rendering of a query answer.
+
+    Subgraph answers become sorted lists of sorted ``[u, v]`` item
+    lists; simulation relations become sorted ``[u, v]`` pair lists.
+    Two evaluation strategies agree on an answer iff their canonical
+    forms are byte-identical after ``json.dumps`` — the determinism
+    contract the scatter-gather executor is tested against.
+    """
+    from repro.core.actualized import SUBGRAPH
+    from repro.matching.simulation import relation_pairs
+
+    if semantics == SUBGRAPH:
+        return sorted([sorted(match.items()) for match in answer])
+    return sorted([list(pair) for pair in relation_pairs(answer)])
+
+
 def bvf2(pattern: Pattern, schema_index: SchemaIndex,
          plan: QueryPlan | None = None,
          stats: AccessStats | None = None) -> BoundedRun:

@@ -33,6 +33,12 @@ def find_matches(pattern: Pattern, graph: GraphView,
                  timeout: float | None = None) -> list[dict[int, int]]:
     """All matches of ``pattern`` in ``graph`` as mappings ``u -> v``.
 
+    The returned list is sorted canonically (by the match's sorted
+    ``(u, v)`` item tuple), so two runs that find the same match set —
+    e.g. the sequential and scatter-gather executors, at any shard or
+    worker count — produce byte-identical output regardless of search
+    order.
+
     Parameters
     ----------
     candidates:
@@ -44,8 +50,10 @@ def find_matches(pattern: Pattern, graph: GraphView,
     timeout:
         Raise :class:`~repro.errors.MatchTimeout` after this many seconds.
     """
-    return list(iter_matches(pattern, graph, candidates=candidates,
-                             limit=limit, timeout=timeout))
+    matches = list(iter_matches(pattern, graph, candidates=candidates,
+                                limit=limit, timeout=timeout))
+    matches.sort(key=lambda match: tuple(sorted(match.items())))
+    return matches
 
 
 def count_matches(pattern: Pattern, graph: GraphView,

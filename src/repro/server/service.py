@@ -95,6 +95,16 @@ class QueryService:
             raise ServerError("workers, max_batch and max_queue must be >= 1")
         self._engine = engine
         self._engine_lock = threading.Lock()
+        # In-flight batch counts per engine (by id) plus engines retired
+        # by a reload that still have batches running: a retired
+        # engine's shard worker pool is closed the moment its last
+        # batch drains, not at process exit.
+        self._engine_refs: dict[int, int] = {}
+        self._retired: dict[int, QueryEngine] = {}
+        # The configured worker-process count, remembered independently
+        # of the current engine so a sharded -> single -> sharded reload
+        # chain restores the pool instead of silently dropping it.
+        self._exec_workers = engine.exec_workers
         self.max_cost = max_cost
         self.workers = workers
         self.max_batch = max_batch
@@ -169,16 +179,41 @@ class QueryService:
         became unbounded after a reload swapped schemas) does not poison
         its batch-mates.
         """
-        engine = self.engine
+        engine = self._acquire_engine()
         self.metrics.record_batch(len(requests))
         try:
-            runs = engine.query_batch(
-                [(r.pattern, r.semantics) for r in requests])
-            return [self._serialize_safe(request, run)
-                    for request, run in zip(requests, runs)]
-        except ReproError:
-            return [self._execute_one(engine, request)
-                    for request in requests]
+            try:
+                runs = engine.query_batch(
+                    [(r.pattern, r.semantics) for r in requests])
+                return [self._serialize_safe(request, run)
+                        for request, run in zip(requests, runs)]
+            except ReproError:
+                return [self._execute_one(engine, request)
+                        for request in requests]
+        finally:
+            self._release_engine(engine)
+
+    def _acquire_engine(self) -> QueryEngine:
+        """The current engine, pinned against close-on-reload until the
+        matching :meth:`_release_engine`."""
+        with self._engine_lock:
+            engine = self._engine
+            key = id(engine)
+            self._engine_refs[key] = self._engine_refs.get(key, 0) + 1
+            return engine
+
+    def _release_engine(self, engine: QueryEngine) -> None:
+        to_close = None
+        with self._engine_lock:
+            key = id(engine)
+            remaining = self._engine_refs.get(key, 1) - 1
+            if remaining:
+                self._engine_refs[key] = remaining
+            else:
+                self._engine_refs.pop(key, None)
+                to_close = self._retired.pop(key, None)
+        if to_close is not None:
+            to_close.close()
 
     def _execute_one(self, engine: QueryEngine, request: AdmittedQuery):
         try:
@@ -226,14 +261,47 @@ class QueryService:
         (:class:`~repro.errors.ArtifactCorrupt`, ...) and leaves the old
         engine serving when the load fails.
         """
-        engine = QueryEngine.open_path(path, frozen=True, validate=validate)
+        from repro.engine.persist import artifact_layout
+
+        # The configured worker-process count applies whenever the
+        # target is sharded; a single-layout target opens inline (a
+        # reload must stay total across layout transitions) without
+        # forgetting the configuration.
+        workers = self._exec_workers \
+            if artifact_layout(path) == "sharded" else 0
+        engine = QueryEngine.open_path(path, frozen=True, validate=validate,
+                                       workers=workers)
+        to_close = None
         with self._engine_lock:
+            old = self._engine
             self._engine = engine
+            if old is not engine:
+                if self._engine_refs.get(id(old)):
+                    # Batches already dispatched finish on the old
+                    # snapshot; its worker pool closes when the last
+                    # one drains (see _release_engine).
+                    self._retired[id(old)] = old
+                else:
+                    to_close = old
+        if to_close is not None:
+            to_close.close()
         self.metrics.record_reload()
         return {"artifact": str(path), "nodes": engine.graph.num_nodes,
                 "edges": engine.graph.num_edges,
                 "constraints": len(engine.schema),
                 "cached_plans": len(engine.plan_cache)}
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release the serving engine's shard worker pool — and any
+        pools still held by engines retired through reloads (the CLI
+        calls this after a clean shutdown; idempotent)."""
+        with self._engine_lock:
+            retired = list(self._retired.values())
+            self._retired.clear()
+        for engine in retired:
+            engine.close()
+        self.engine.close()
 
     # -- inspection ----------------------------------------------------------
     def snapshot(self, queue_depth: int = 0) -> dict:
@@ -257,6 +325,8 @@ class QueryService:
                        "edges": engine.graph.num_edges,
                        "constraints": len(engine.schema),
                        "frozen": engine.frozen,
+                       "sharded": engine.sharded,
+                       "exec_workers": engine.exec_workers,
                        "artifact": (str(engine.artifact_path)
                                     if engine.artifact_path else None)},
         })
