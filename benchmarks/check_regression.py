@@ -1,9 +1,9 @@
 """CI benchmark-regression gate.
 
 Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``,
-``benchmarks/bench_warm_start.py``, ``benchmarks/bench_serve.py`` and
-``benchmarks/bench_shard.py`` (under ``.benchmarks/``) against the
-committed floors in
+``benchmarks/bench_warm_start.py``, ``benchmarks/bench_serve.py``,
+``benchmarks/bench_shard.py`` and ``benchmarks/bench_extension.py``
+(under ``.benchmarks/``) against the committed floors in
 ``benchmarks/baselines.json`` and exits non-zero when any metric drops
 more than ``TOLERANCE`` below its baseline.
 
@@ -56,6 +56,8 @@ def current_metrics(results_dir: Path) -> dict:
     serve = _load(results_dir / "serve.json")
     serve_by_mode = {row["mode"]: row for row in serve["rows"]}
     shard = _load(results_dir / "shard.json")
+    extension = _load(results_dir / "extension.json")
+    extension_rows = extension.get("rows", [])
     shard_rows = [row for row in shard["rows"] if row["mode"] == "sharded"]
     shard_by_workers = {row["workers"]: row for row in shard_rows}
     top_workers = max(shard_by_workers, default=0)
@@ -91,6 +93,16 @@ def current_metrics(results_dir: Path) -> dict:
             "speedup_4w": speedup_4w if shard_rows else None,
             "inline_qps": (shard_by_workers[0]["qps"]
                            if 0 in shard_by_workers else None),
+        },
+        # The extension gate reads the minimum-M row: rescue totality
+        # and rescued throughput at the tightest workable budget.
+        "extension": {
+            "bounded_fraction_after":
+                (min(extension_rows, key=lambda r: r["m"])
+                 ["bounded_fraction_after"] if extension_rows else None),
+            "rescued_qps":
+                (min(extension_rows, key=lambda r: r["m"])["rescued_qps"]
+                 if extension_rows else None),
         },
     }
 

@@ -31,6 +31,7 @@ from repro.constraints import (
     AccessSchema,
     ConstraintIndex,
     MaintainedSchemaIndex,
+    SchemaCatalog,
     SchemaIndex,
     discover_schema,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "Graph",
     "GraphDelta",
     "MaintainedSchemaIndex",
+    "SchemaCatalog",
     "MatchTimeout",
     "NotEffectivelyBounded",
     "Pattern",

@@ -16,6 +16,7 @@ from repro.bench.harness import (
     engine_throughput,
     exp1_percentages,
     exp3_algorithm_times,
+    extension_rescue,
     fig5_index_size,
     fig5_varying_a,
     fig5_varying_g,
@@ -26,7 +27,12 @@ from repro.bench.harness import (
     timed,
     warm_start,
 )
-from repro.bench.reporting import latency_summary, render_series, render_table
+from repro.bench.reporting import (
+    boundedness_summary,
+    latency_summary,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "get_dataset",
@@ -36,6 +42,7 @@ __all__ = [
     "engine_throughput",
     "exp1_percentages",
     "exp3_algorithm_times",
+    "extension_rescue",
     "fig5_index_size",
     "fig5_varying_a",
     "fig5_varying_g",
@@ -45,6 +52,7 @@ __all__ = [
     "shard_scaling",
     "timed",
     "warm_start",
+    "boundedness_summary",
     "latency_summary",
     "render_series",
     "render_table",

@@ -21,6 +21,10 @@ shard_scaling             (new) scatter-gather shard execution vs the
                           sequential engine, across worker-process
                           counts (repro.graph.partition +
                           repro.engine.parallel)
+extension_rescue          (new) online M-bounded extension: build
+                          latency + rescued-query throughput vs M
+                          (repro.constraints.catalog +
+                          repro.engine.extension)
 ========================  =====================================
 
 Bounded evaluation goes through :class:`~repro.engine.engine.QueryEngine`
@@ -554,7 +558,7 @@ def serve_load(dataset: str = "imdb", scale: float = 0.05,
     from repro.pattern.dsl import format_pattern
     from repro.server import QueryService, ServeClient, ServerThread
     from repro.server.client import run_load
-    from repro.bench.reporting import latency_summary
+    from repro.bench.reporting import boundedness_summary, latency_summary
 
     graph, schema = get_dataset(dataset, scale)
     pool = get_workload(dataset, scale, count=200, seed=seed)
@@ -628,7 +632,98 @@ def serve_load(dataset: str = "imdb", scale: float = 0.05,
                  "rejected_over_budget": rejections,
                  "rejection_error": rejection_error,
                  "mean_batch_size": snapshot["mean_batch_size"],
-                 "plan_cache_hit_rate": snapshot["plan_cache"]["hit_rate"]})
+                 "plan_cache_hit_rate": snapshot["plan_cache"]["hit_rate"],
+                 **boundedness_summary(snapshot)})
+    return rows
+
+
+# -------------------------------------------------- extension rescue
+def extension_rescue(dataset: str = "imdb", scale: float = 0.05,
+                     distinct: int = 8, repeats: int = 20,
+                     m_values=None, semantics: str = SUBGRAPH,
+                     seed: int = 42) -> list[dict]:
+    """Online M-bounded extension: build latency and rescued-query
+    throughput vs the extension budget ``M`` (the serving-side
+    counterpart of Fig. 6).
+
+    The base schema is the dataset's type (1) constraints only — the
+    global label counts a deployment would start from — so a real slice
+    of the workload is rejected as unbounded. For each budget ``M``
+    (default: the smallest workable M from ``find_min_m``, then 2x and
+    4x it) a fresh engine plans and applies the extension
+    (:func:`repro.engine.extension.plan_extension` +
+    ``QueryEngine.extend_schema``) and the row records:
+
+    * ``build_ms`` — plan + incremental index build + catalog publish
+      (the off-path cost one server-side rescue pays);
+    * ``rescued_qps`` — prepared throughput of the rescued queries
+      afterwards (``refresh=True``: every request pays execution);
+    * ``bounded_fraction_before`` / ``after`` — the workload fraction
+      with a bounded plan at generation 0 vs after the extension
+      (``after`` must be 1.0 at every workable M — the committed gate).
+    """
+    from repro.constraints.schema import AccessSchema
+    from repro.engine import plan_extension
+
+    graph, full_schema = get_dataset(dataset, scale)
+    base_constraints = [c for c in full_schema if c.is_type1]
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+
+    base_for_checks = AccessSchema(base_constraints)
+    unbounded = [q for q in pool
+                 if not is_effectively_bounded(q, base_for_checks,
+                                               semantics).bounded]
+    unbounded = unbounded[:distinct]
+    if len(unbounded) < 2:
+        raise BenchmarkError(
+            f"workload for {dataset}@{scale} yields too few unbounded "
+            f"queries ({len(unbounded)}) under the type (1)-only schema")
+    sample = pool[:max(4 * distinct, len(unbounded))]
+    before_fraction = sum(
+        is_effectively_bounded(q, base_for_checks, semantics).bounded
+        for q in sample) / len(sample)
+
+    if m_values is None:
+        probe = QueryEngine.open(graph, AccessSchema(base_constraints))
+        m_min = plan_extension(probe, unbounded, semantics=semantics).m
+        m_values = sorted({m_min, 2 * m_min, 4 * m_min})
+
+    rows = []
+    for m in m_values:
+        # A fresh engine (and schema copy) per budget: extension grows
+        # the schema in place, and each row must start from generation 0.
+        engine = QueryEngine.open(graph, AccessSchema(base_constraints))
+        start = time.perf_counter()
+        plan = plan_extension(engine, unbounded, m=m, semantics=semantics)
+        report = engine.extend_schema(
+            plan.added, provenance={"origin": "bench", "m": m})
+        build_seconds = time.perf_counter() - start
+        for query in unbounded:
+            engine.prepare(query, semantics)
+        served = 0
+        run_start = time.perf_counter()
+        for _ in range(repeats):
+            for query in unbounded:
+                engine.query(query, semantics, refresh=True)
+                served += 1
+        run_seconds = time.perf_counter() - run_start
+        after_schema = engine.schema
+        after_fraction = sum(
+            is_effectively_bounded(q, after_schema, semantics).bounded
+            for q in unbounded) / len(unbounded)
+        rows.append({
+            "mode": "extension", "m": m,
+            "queries": len(unbounded),
+            "added_constraints": len(report.added),
+            "added_cells": report.added_cells,
+            "schema_version": report.version,
+            "build_ms": build_seconds * 1000.0,
+            "requests": served,
+            "seconds": run_seconds,
+            "rescued_qps": served / run_seconds,
+            "bounded_fraction_before": before_fraction,
+            "bounded_fraction_after": after_fraction,
+        })
     return rows
 
 

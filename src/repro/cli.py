@@ -9,9 +9,11 @@ Subcommands::
     repro compile  --graph g.tsv --schema a.json --out art/ [--pattern q.pat]
     repro compile  --dataset imdb --scale 0.05 --out art/
     repro compile  --inspect art/                       # artifact metadata
+    repro extend   --artifact art/ --pattern q.pat [--workload w.txt]
+                   [--extend-budget M] [--max-added K] [--out art2/]
     repro generate --dataset imdb --scale 0.05 --out prefix
     repro serve    --artifact art/ [--port 8642] [--workers 4]
-                   [--max-cost 50000]
+                   [--max-cost 50000] [--extend-budget M]
     repro bench    --experiment exp1 [--experiment ...] [--dataset imdb]
                    [--scale 0.05] [--artifact art/]
 
@@ -160,6 +162,80 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_extend(args) -> int:
+    """Extend an artifact's access schema so a workload becomes bounded
+    (Section V online: plan the greedy minimum M-bounded extension,
+    build indexes for only the added constraints, save a new schema
+    generation)."""
+    from repro.engine import persist, plan_extension
+
+    queries = [_load_pattern(path) for path in args.pattern or ()]
+    if args.workload:
+        for i, line in enumerate(
+                Path(args.workload).read_text(encoding="utf-8").splitlines()):
+            line = line.strip()
+            if line and not line.startswith("#"):
+                queries.append(parse_pattern(line, name=f"w{i}"))
+    if not queries:
+        print("extend requires at least one --pattern file or --workload",
+              file=sys.stderr)
+        return 2
+    layout = persist.artifact_layout(args.artifact)
+    found = persist.inspect_artifact(args.artifact)["format_version"]
+    if found != persist.FORMAT_VERSION:
+        # The v2 -> v3 migration path: old artifacts serve read-only; an
+        # on-disk extension would silently invent a catalog history for
+        # them, so it requires an explicit re-compile first.
+        print(f"error: artifact at {args.artifact} has format version "
+              f"{found} and opens read-only; re-compile it to version "
+              f"{persist.FORMAT_VERSION} (repro compile) before extending",
+              file=sys.stderr)
+        return 1
+    out = args.out or args.artifact
+    engine = QueryEngine.open_path(args.artifact)
+    try:
+        before_version = engine.schema_version
+        before_cells = None if engine.sharded \
+            else engine.schema_index.total_size
+        plan = plan_extension(engine, queries, m=args.extend_budget,
+                              semantics=args.semantics,
+                              max_added=args.max_added)
+        if plan.empty:
+            print(f"workload already effectively bounded at schema "
+                  f"v{before_version} (M={plan.m}); nothing to extend")
+            if Path(out).resolve() != Path(args.artifact).resolve():
+                # --out is a promise: the follow-up artifact must exist
+                # even when no constraints were needed.
+                if layout == "sharded":
+                    persist.save_extended_sharded(engine, args.artifact, out)
+                else:
+                    engine.save(out)
+                print(f"copied unchanged artifact to {out}")
+            return 0
+        report = engine.extend_schema(
+            plan.added,
+            provenance={"origin": "extend-cli", "m": plan.m,
+                        "queries": len(queries),
+                        "semantics": args.semantics})
+        if layout == "sharded":
+            persist.save_extended_sharded(engine, args.artifact, out)
+        else:
+            engine.save(out)
+        print(f"extended {args.artifact} -> {out}: schema "
+              f"v{before_version} -> v{report.version} (M={plan.m})")
+        for constraint in report.added:
+            print(f"  + {constraint}")
+        delta = f"+{report.added_cells} cells"
+        if before_cells is not None:
+            delta += (f" ({before_cells} -> "
+                      f"{before_cells + report.added_cells})")
+        print(f"index-size delta: {delta} across {report.built} new "
+              f"indexes, built in {report.build_seconds * 1000:.1f} ms")
+        return 0
+    finally:
+        engine.close()
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -188,7 +264,9 @@ def _cmd_serve(args) -> int:
     service = QueryService(engine, max_cost=args.max_cost,
                            workers=args.workers, max_batch=args.max_batch,
                            batch_window_ms=args.batch_window_ms,
-                           max_queue=args.max_queue)
+                           max_queue=args.max_queue,
+                           extend_budget=args.extend_budget,
+                           extend_max_added=args.extend_max_added)
 
     async def _serve() -> None:
         server = QueryServer(service, host=args.host, port=args.port)
@@ -201,9 +279,12 @@ def _cmd_serve(args) -> int:
                 pass
         budget = "unlimited" if args.max_cost is None \
             else f"{args.max_cost:g}"
+        extend = "off" if args.extend_budget is None \
+            else f"M={args.extend_budget}"
         print(f"serving on {server.host}:{server.port} "
               f"(workers={service.workers}, "
               f"exec-workers={engine.exec_workers}, max-cost={budget}, "
+              f"extend={extend}, schema=v{engine.schema_version}, "
               f"graph={engine.graph.num_nodes} nodes "
               f"{engine.graph.num_edges} edges)", flush=True)
         await server.serve_until_shutdown()
@@ -215,7 +296,9 @@ def _cmd_serve(args) -> int:
     snapshot = service.metrics.snapshot()
     print(f"shutdown complete: answered={snapshot['answered']} "
           f"rejected={sum(snapshot['rejected'].values())} "
-          f"errors={snapshot['errors']}")
+          f"rescued={snapshot['rescued']} "
+          f"errors={snapshot['errors']} "
+          f"bounded-fraction={snapshot['bounded_fraction']:.3f}")
     return 0
 
 
@@ -249,6 +332,7 @@ def _cmd_bench(args) -> int:
         engine_throughput,
         exp1_percentages,
         exp3_algorithm_times,
+        extension_rescue,
         fig5_index_size,
         fig5_varying_a,
         fig5_varying_g,
@@ -265,6 +349,7 @@ def _cmd_bench(args) -> int:
         "fig5-varying-a": fig5_varying_a,
         "fig5-index-size": fig5_index_size,
         "fig6-instance": fig6_instance_bounded,
+        "extension-rescue": extension_rescue,
     }
     #: Experiments that can serve from a compiled artifact (--artifact).
     artifact_aware = {
@@ -360,6 +445,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_semantics(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
+    p_extend = sub.add_parser(
+        "extend", help="extend an artifact's access schema so a workload "
+                       "becomes bounded (M-bounded extension, Section V)")
+    p_extend.add_argument("--artifact", required=True,
+                          help="compiled artifact directory (single or "
+                               "sharded) to extend")
+    p_extend.add_argument("--pattern", action="append",
+                          help="pattern file the extension must make "
+                               "bounded (repeatable)")
+    p_extend.add_argument("--workload",
+                          help="text file with one DSL pattern per line "
+                               "(blank lines and # comments skipped)")
+    p_extend.add_argument("--extend-budget", type=int, default=None,
+                          help="the extension bound M (default: the "
+                               "smallest M that works, via find_min_m)")
+    p_extend.add_argument("--max-added", type=int, default=None,
+                          help="fail if the extension needs more than "
+                               "this many new constraints")
+    p_extend.add_argument("--out",
+                          help="write the extended artifact here "
+                               "(default: extend in place)")
+    add_semantics(p_extend)
+    p_extend.set_defaults(func=_cmd_extend)
+
     p_serve = sub.add_parser(
         "serve", help="serve pattern queries concurrently over TCP")
     p_serve.add_argument("--artifact",
@@ -394,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "is drained (0 = adaptive batching only)")
     p_serve.add_argument("--max-queue", type=int, default=256,
                          help="queued-request bound before load shedding")
+    p_serve.add_argument("--extend-budget", type=int, default=None,
+                         help="rescue unbounded queries by extending the "
+                              "schema online with constraints bounded by "
+                              "M (default: rescue disabled)")
+    p_serve.add_argument("--extend-max-added", type=int, default=None,
+                         help="max constraints one rescue may add")
     p_serve.add_argument("--validate", action="store_true",
                          help="verify G |= A before serving")
     p_serve.set_defaults(func=_cmd_serve)
@@ -415,7 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exp1 | exp3 | fig5-varying-g | fig5-varying-q"
                               " | fig5-varying-a | fig5-index-size"
                               " | fig6-instance | engine-throughput"
-                              " | warm-start | serve-load | shard-scaling; "
+                              " | warm-start | serve-load | shard-scaling"
+                              " | extension-rescue; "
                               "repeatable — experiments in one invocation "
                               "share one dataset build")
     p_bench.add_argument("--dataset", default="imdb")

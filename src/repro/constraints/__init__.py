@@ -6,6 +6,9 @@ with an index that retrieves those neighbours in O(N). An *access schema*
 ``A`` is a set of such constraints.
 
 * :class:`AccessConstraint` / :class:`AccessSchema` — the declarative side.
+* :class:`SchemaCatalog` / :class:`SchemaGeneration` — the versioned
+  schema lifecycle: monotonic generations of M-bounded extensions with
+  provenance (see :mod:`~repro.constraints.catalog`).
 * :class:`ConstraintIndex` / :class:`SchemaIndex` — the physical indexes
   over a concrete graph, with O(N) ``fetch``.
 * :mod:`~repro.constraints.discovery` — mining constraints from data
@@ -15,6 +18,7 @@ with an index that retrieves those neighbours in O(N). An *access schema*
 """
 
 from repro.constraints.schema import AccessConstraint, AccessSchema
+from repro.constraints.catalog import SchemaCatalog, SchemaGeneration
 from repro.constraints.index import ConstraintIndex, SchemaIndex
 from repro.constraints.discovery import (
     discover_type1,
@@ -29,6 +33,8 @@ __all__ = [
     "AccessConstraint",
     "AccessSchema",
     "ConstraintIndex",
+    "SchemaCatalog",
+    "SchemaGeneration",
     "SchemaIndex",
     "discover_type1",
     "discover_unit",

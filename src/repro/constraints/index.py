@@ -397,6 +397,11 @@ class SchemaIndex:
         self.graph = graph
         self.schema = schema
         self.frozen = frozen
+        #: Constraint indexes constructed by (or adopted into) this
+        #: object — the counter the incremental-extension acceptance
+        #: criterion asserts on: growing the schema by k constraints
+        #: must raise ``builds`` by exactly k, never by a full rebuild.
+        self.builds = 0
         self._indexes: dict[AccessConstraint, BaseConstraintIndex] = {}
         for constraint in schema:
             self._indexes[constraint] = self._build_one(constraint, track_members)
@@ -409,7 +414,9 @@ class SchemaIndex:
             if track_members:
                 raise SchemaError(
                     "a frozen index cannot track members (it is immutable)")
+            self.builds += 1
             return FrozenConstraintIndex(constraint, self.graph)
+        self.builds += 1
         return ConstraintIndex(constraint, self.graph,
                                track_members=track_members)
 
@@ -429,6 +436,7 @@ class SchemaIndex:
         sx.schema = schema
         sx.frozen = all(isinstance(indexes[c], FrozenConstraintIndex)
                         for c in schema)
+        sx.builds = 0
         sx._indexes = {c: indexes[c] for c in schema}
         return sx
 
@@ -437,6 +445,12 @@ class SchemaIndex:
         (the scatter-gather task protocol addresses constraints this
         way; see :mod:`repro.core.executor`)."""
         return self.schema.at(position)
+
+    def has_index(self, constraint: AccessConstraint) -> bool:
+        """True when an index for ``constraint`` is live here (may
+        briefly differ from schema membership mid-extension: indexes are
+        adopted before the catalog publishes the constraint)."""
+        return constraint in self._indexes
 
     def index_for(self, constraint: AccessConstraint) -> BaseConstraintIndex:
         try:
@@ -452,6 +466,28 @@ class SchemaIndex:
             return self._indexes[constraint]
         self.schema.add(constraint)
         index = self._build_one(constraint, track_members)
+        self._indexes[constraint] = index
+        return index
+
+    def adopt_index(self, constraint: AccessConstraint,
+                    index: BaseConstraintIndex,
+                    built: bool = True) -> BaseConstraintIndex:
+        """Register an externally built index for ``constraint`` without
+        touching the schema.
+
+        This is the serving half of incremental extension: the engine
+        builds the index off the query path (possibly per shard, over
+        owned targets only), adopts it here — a single atomic dict
+        insertion, safe under concurrent frozen reads — and only then
+        appends the constraint to the schema through the catalog, so no
+        reader can plan against a constraint whose index is not yet
+        live. ``built=False`` adopts without counting a build (e.g.
+        re-registering a pre-existing index).
+        """
+        if constraint in self._indexes:
+            return self._indexes[constraint]
+        if built:
+            self.builds += 1
         self._indexes[constraint] = index
         return index
 

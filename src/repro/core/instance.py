@@ -155,16 +155,21 @@ def candidate_bounds(graph: GraphView, queries: Sequence[Pattern],
 
 def min_m_for_fraction(queries: Sequence[Pattern], schema: AccessSchema,
                        graph: GraphView, fraction: float = 1.0,
-                       semantics: str = SUBGRAPH) -> tuple[int | None, EEPResult | None]:
+                       semantics: str = SUBGRAPH,
+                       bounds: dict[tuple[str, str], int] | None = None,
+                       ) -> tuple[int | None, EEPResult | None]:
     """Smallest ``M`` making at least ``fraction`` of the workload
     instance-bounded (the x% sweep of Fig. 6), or ``(None, None)`` if even
     the largest candidate bound is insufficient.
 
     Monotonicity (larger M ⇒ superset of constraints ⇒ larger covers)
-    justifies the binary search.
+    justifies the binary search. ``bounds`` amortizes the O(|G|)
+    neighbour scan — required when ``graph`` is a stats stand-in that
+    cannot be scanned (see :mod:`repro.engine.extension`).
     """
     check_semantics(semantics)
-    bounds = neighbor_label_bounds(graph)
+    if bounds is None:
+        bounds = neighbor_label_bounds(graph)
     candidates = candidate_bounds(graph, queries, bounds=bounds)
     if not candidates:
         return None, None
@@ -193,9 +198,11 @@ def min_m_for_fraction(queries: Sequence[Pattern], schema: AccessSchema,
 
 def find_min_m(queries: Sequence[Pattern], schema: AccessSchema,
                graph: GraphView, semantics: str = SUBGRAPH,
+               bounds: dict[tuple[str, str], int] | None = None,
                ) -> tuple[int | None, EEPResult | None]:
     """Smallest ``M`` making the *whole* workload instance-bounded."""
-    return min_m_for_fraction(queries, schema, graph, 1.0, semantics)
+    return min_m_for_fraction(queries, schema, graph, 1.0, semantics,
+                              bounds=bounds)
 
 
 def make_instance_bounded(queries: Sequence[Pattern], schema: AccessSchema,
@@ -215,6 +222,7 @@ def make_instance_bounded(queries: Sequence[Pattern], schema: AccessSchema,
 def greedy_minimum_extension(queries: Sequence[Pattern], schema: AccessSchema,
                              graph: GraphView, m: int,
                              semantics: str = SUBGRAPH,
+                             bounds: dict[tuple[str, str], int] | None = None,
                              ) -> list[AccessConstraint] | None:
     """Greedy approximation of the minimum M-bounded extension.
 
@@ -223,46 +231,79 @@ def greedy_minimum_extension(queries: Sequence[Pattern], schema: AccessSchema,
     the candidate constraint that newly covers the most pattern nodes and
     edges across still-unbounded queries. Returns the added constraints,
     or None when the maximal extension itself is insufficient.
+
+    EBChk outcomes are memoized per query on the *relevant* chosen
+    candidates only: a constraint ``S -> (l, N)`` can enter a query's
+    covers only when ``l`` and every label of ``S`` occur among the
+    query's labels, so candidates over foreign labels never trigger
+    re-verification. The chosen extension is identical to the naive
+    O(candidates × queries)-rechecks-per-round greedy (regression-tested
+    against it); only the work changes.
     """
     check_semantics(semantics)
-    full = is_instance_bounded(queries, schema, graph, m, semantics)
+    full = is_instance_bounded(queries, schema, graph, m, semantics,
+                               bounds=bounds)
     if not full.bounded:
         return None
     candidates = list(full.added)
-    current = AccessSchema(schema)
     chosen: list[AccessConstraint] = []
+    chosen_set: set[AccessConstraint] = set()
 
-    def coverage(schema_now: AccessSchema) -> int:
-        covered = 0
-        for query in queries:
-            result = is_effectively_bounded(query, schema_now, semantics)
-            covered += len(result.covers.node_cover)
-            covered += len(result.covers.edge_cover)
-        return covered
+    # Relevance filter: the covers of query q can only ever use a
+    # candidate whose target and source labels all occur in q.
+    query_labels = [query.labels() for query in queries]
+    relevant = [frozenset(c for c in candidates
+                          if c.target in labels
+                          and set(c.source) <= labels)
+                for labels in query_labels]
 
-    def all_bounded(schema_now: AccessSchema) -> bool:
-        return all(is_effectively_bounded(q, schema_now, semantics).bounded
-                   for q in queries)
+    # (query index, relevant chosen candidates) -> (coverage, bounded).
+    # Coverage depends only on that projection, so the memo is exact —
+    # and it persists across rounds, so a candidate evaluated against an
+    # unchanged relevant set costs a dict lookup, not an EBChk run.
+    memo: dict[tuple[int, frozenset[AccessConstraint]], tuple[int, bool]] = {}
 
-    while not all_bounded(current):
-        base = coverage(current)
+    def eval_query(qi: int,
+                   extra: AccessConstraint | None = None) -> tuple[int, bool]:
+        selection = frozenset(
+            c for c in relevant[qi]
+            if c in chosen_set or (extra is not None and c is extra))
+        key = (qi, selection)
+        outcome = memo.get(key)
+        if outcome is None:
+            trial = AccessSchema(schema)
+            trial.extend(sorted(selection))
+            result = is_effectively_bounded(queries[qi], trial, semantics)
+            outcome = (len(result.covers.node_cover)
+                       + len(result.covers.edge_cover), result.bounded)
+            memo[key] = outcome
+        return outcome
+
+    while True:
+        base = 0
+        all_bounded = True
+        for qi in range(len(queries)):
+            covered, bounded = eval_query(qi)
+            base += covered
+            all_bounded = all_bounded and bounded
+        if all_bounded:
+            break
         best_gain, best_constraint = 0, None
         for constraint in candidates:
-            if constraint in current:
+            if constraint in chosen_set:
                 continue
-            trial = AccessSchema(current)
-            trial.add(constraint)
-            gain = coverage(trial) - base
+            gain = sum(eval_query(qi, constraint)[0]
+                       for qi in range(len(queries))) - base
             if gain > best_gain:
                 best_gain, best_constraint = gain, constraint
         if best_constraint is None:
             # No single constraint helps; add the remaining ones at once
             # (covers need joint additions in rare cases).
             for constraint in candidates:
-                if constraint not in current:
-                    current.add(constraint)
+                if constraint not in chosen_set:
                     chosen.append(constraint)
+                    chosen_set.add(constraint)
             break
-        current.add(best_constraint)
         chosen.append(best_constraint)
+        chosen_set.add(best_constraint)
     return chosen

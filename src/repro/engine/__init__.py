@@ -14,6 +14,12 @@
 
 from repro.engine.cache import PlanCache, pattern_fingerprint
 from repro.engine.engine import PreparedQuery, QueryEngine
+from repro.engine.extension import (
+    ExtensionPlan,
+    ExtensionReport,
+    plan_extension,
+    workload_stats,
+)
 from repro.engine.parallel import (
     InlineShardBackend,
     ProcessShardBackend,
@@ -24,11 +30,14 @@ from repro.engine.persist import (
     load_engine,
     render_inspection,
     save_engine,
+    save_extended_sharded,
     save_sharded_engine,
     verify_sharded_artifact,
 )
 
 __all__ = [
+    "ExtensionPlan",
+    "ExtensionReport",
     "InlineShardBackend",
     "PlanCache",
     "PreparedQuery",
@@ -38,8 +47,11 @@ __all__ = [
     "inspect_artifact",
     "load_engine",
     "pattern_fingerprint",
+    "plan_extension",
     "render_inspection",
     "save_engine",
+    "save_extended_sharded",
     "save_sharded_engine",
     "verify_sharded_artifact",
+    "workload_stats",
 ]

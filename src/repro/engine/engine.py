@@ -43,8 +43,10 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.accounting import AccessStats
+from repro.constraints.catalog import SchemaCatalog
+from repro.constraints.index import ConstraintIndex, FrozenConstraintIndex
 from repro.constraints.maintenance import MaintainedSchemaIndex, MaintenanceReport
-from repro.constraints.schema import AccessSchema
+from repro.constraints.schema import AccessConstraint, AccessSchema
 from repro.core.actualized import SEMANTICS, SUBGRAPH
 from repro.core.executor import (
     MODE_PLAN,
@@ -73,24 +75,34 @@ class _CacheEntry:
     isomorphic pattern it yields the node translation that makes the
     cached plan reusable. ``error`` carries a cached negative verdict
     (the query is not effectively bounded) so EBChk is not re-run either.
-    ``schema``/``schema_size`` record which schema the verdict was
-    reached under: an entry from a different schema object is a miss
-    (shared-cache protection), and a negative verdict is also a miss
-    once the schema has grown (an M-bounded extension via
-    ``schema_index.add_constraint`` may have made the query bounded).
-    The cache never stores anything graph- or session-bound.
+
+    Verdicts are keyed against the serving
+    :class:`~repro.constraints.catalog.SchemaCatalog`: ``schema`` must
+    be the catalog's current schema object (shared-cache protection —
+    plans compiled for one schema are meaningless under another), and
+    ``version``/``schema_size`` record the catalog generation the
+    verdict was reached under. A *positive* entry (a plan) stays valid
+    forever — a plan compiled under ``A`` is correct under any
+    extension ``A ∪ A'`` — but a *negative* verdict is a miss as soon
+    as the schema has grown (by a catalog generation, or by a direct
+    ``schema_index.add_constraint``): the M-bounded extension may have
+    made the query bounded, so EBChk must re-run instead of the stale
+    refusal being served forever. The cache never stores anything
+    graph- or session-bound.
     """
 
     order: tuple[int, ...]
     schema: AccessSchema
+    version: int
     schema_size: int
     plan: QueryPlan | None = None
     error: NotEffectivelyBounded | None = None
 
-    def usable_by(self, schema: AccessSchema) -> bool:
-        if self.schema is not schema:
+    def usable_by(self, catalog: SchemaCatalog) -> bool:
+        if self.schema is not catalog.current:
             return False
-        if self.error is not None and self.schema_size != len(schema):
+        if self.error is not None and (self.version != catalog.version
+                                       or self.schema_size != len(self.schema)):
             return False
         return True
 
@@ -197,11 +209,16 @@ class QueryEngine:
         **same schema** (e.g. several snapshots of a growing graph).
     """
 
-    def __init__(self, graph: GraphView, schema: AccessSchema, *,
+    def __init__(self, graph: GraphView, schema, *,
                  frozen: bool = True, validate: bool = False,
                  cache_size: int = 128, plan_cache: PlanCache | None = None,
                  schema_index=None):
-        self.schema = schema
+        # ``schema`` may be a bare AccessSchema (wrapped in a fresh
+        # generation-0 catalog) or a SchemaCatalog (the artifact load
+        # path, preserving recorded generations).
+        self._catalog = schema if isinstance(schema, SchemaCatalog) \
+            else SchemaCatalog(schema)
+        schema = self._catalog.current
         self.frozen = frozen
         self.stats = AccessStats()
         #: Shard backend of a sharded session (None for ordinary
@@ -246,7 +263,7 @@ class QueryEngine:
                 self._schema_index.validate()
 
     @classmethod
-    def open(cls, graph: GraphView, schema: AccessSchema, *,
+    def open(cls, graph: GraphView, schema, *,
              frozen: bool = True, validate: bool = False,
              cache_size: int = 128,
              plan_cache: PlanCache | None = None) -> "QueryEngine":
@@ -284,7 +301,7 @@ class QueryEngine:
                                    mp_context=mp_context)
 
     @classmethod
-    def from_shards(cls, backend, schema: AccessSchema, graph_summary, *,
+    def from_shards(cls, backend, schema, graph_summary, *,
                     plan_cache: PlanCache | None = None,
                     cache_size: int = 128) -> "QueryEngine":
         """Assemble a frozen scatter-gather session over a shard backend
@@ -293,7 +310,8 @@ class QueryEngine:
         backend handle; :attr:`graph` is the partition's
         :class:`~repro.graph.partition.GraphSummary`."""
         engine = cls.__new__(cls)
-        engine.schema = schema
+        engine._catalog = schema if isinstance(schema, SchemaCatalog) \
+            else SchemaCatalog(schema)
         engine.frozen = True
         engine.stats = AccessStats()
         engine._shards = backend
@@ -343,6 +361,22 @@ class QueryEngine:
         self.close()
 
     # -- session state ---------------------------------------------------------
+    @property
+    def schema(self) -> AccessSchema:
+        """The access schema being served — the catalog's current
+        generation (one object, growing in place under extension)."""
+        return self._catalog.current
+
+    @property
+    def catalog(self) -> SchemaCatalog:
+        """The versioned schema lifecycle this session serves under."""
+        return self._catalog
+
+    @property
+    def schema_version(self) -> int:
+        """The catalog generation currently published."""
+        return self._catalog.version
+
     @property
     def graph(self) -> GraphView:
         """The graph being served (the CSR snapshot when frozen)."""
@@ -396,7 +430,7 @@ class QueryEngine:
         key, order = pattern_fingerprint(pattern)
         cache_key = (key, semantics)
         entry = self._cache.get(cache_key,
-                                validate=lambda e: e.usable_by(self.schema))
+                                validate=lambda e: e.usable_by(self._catalog))
         if entry is not None:
             with self._stats_lock:
                 self.stats.record_cache_hit()
@@ -404,17 +438,22 @@ class QueryEngine:
                                     semantics)
         with self._stats_lock:
             self.stats.record_cache_miss()
+        # Snapshot the generation before compiling: a concurrent
+        # extension that lands mid-compile leaves the verdict keyed to
+        # the generation it was actually reached under.
+        schema = self.schema
+        version = self._catalog.version
         try:
-            plan = generate_plan(pattern, self.schema, semantics)
+            plan = generate_plan(pattern, schema, semantics)
         except NotEffectivelyBounded as exc:
             self._cache.put(cache_key, _CacheEntry(
-                order=order, schema=self.schema,
-                schema_size=len(self.schema), error=exc))
+                order=order, schema=schema, version=version,
+                schema_size=len(schema), error=exc))
             raise
         prepared = PreparedQuery(self, pattern, semantics, plan)
         self._cache.put(cache_key, _CacheEntry(
-            order=order, schema=self.schema,
-            schema_size=len(self.schema), plan=plan))
+            order=order, schema=schema, version=version,
+            schema_size=len(schema), plan=plan))
         self._prepared.put((cache_key, order), (plan, prepared))
         return prepared
 
@@ -544,6 +583,77 @@ class QueryEngine:
         report = self._maintained.apply(delta)
         self._generation += 1
         return report
+
+    # -- schema extension ------------------------------------------------------
+    def extend_schema(self, constraints: Iterable[AccessConstraint], *,
+                      provenance: dict | None = None):
+        """Grow the access schema online with an M-bounded extension.
+
+        Builds constraint indexes for the *added* constraints only —
+        never a rebuild of existing ones — and publishes them with the
+        hot-reload discipline: indexes go live first (per shard, over
+        owned targets, on sharded sessions), then the catalog appends
+        the constraints and bumps its generation, which is the moment
+        cached negative EBChk verdicts stop matching. Answers of
+        already-bounded queries are untouched: their plans, their
+        memoized answers and their access accounting never change
+        (property-tested). Returns an
+        :class:`~repro.engine.extension.ExtensionReport`.
+
+        A frozen session stays safely readable throughout — concurrent
+        ``prepare``/``query`` calls observe either the old generation or
+        the new one. The on-disk artifact (if any) is *not* touched: it
+        remains a valid, older-generation snapshot; use ``repro extend``
+        (or re-save) to persist the extension.
+        """
+        import time as _time
+
+        from repro.engine.extension import ExtensionReport
+
+        start = _time.perf_counter()
+        added: list[AccessConstraint] = []
+        pending: set[AccessConstraint] = set()
+        for constraint in constraints:
+            if not isinstance(constraint, AccessConstraint):
+                raise EngineError(
+                    f"extend_schema expects AccessConstraint objects, "
+                    f"got {constraint!r}")
+            if constraint not in self.schema and constraint not in pending:
+                added.append(constraint)
+                pending.add(constraint)
+        if not added:
+            return ExtensionReport(
+                version=self._catalog.version, added=(), built=0,
+                added_cells=0, build_seconds=0.0, per_shard=None)
+
+        per_shard = None
+        cells = 0
+        if self._shards is not None:
+            # Shard-local builds over owned targets only: the disjoint
+            # union of the new per-shard entries equals the global index
+            # entry, exactly as for the base constraints (see
+            # repro.graph.partition).
+            per_shard = self._shards.extend(added)
+            cells = sum(info["cells"] for info in per_shard)
+        elif self.frozen:
+            for constraint in added:
+                index = FrozenConstraintIndex(constraint, self._graph)
+                self._schema_index.adopt_index(constraint, index)
+                cells += index.size
+        else:
+            for constraint in added:
+                index = ConstraintIndex(constraint, self._graph,
+                                        track_members=True)
+                self._schema_index.adopt_index(constraint, index)
+                cells += index.size
+        # Publish last: only now can a reader compile against the new
+        # constraints — whose indexes are already live everywhere.
+        generation = self._catalog.extend(added, provenance=provenance)
+        return ExtensionReport(
+            version=generation.version, added=tuple(added), built=len(added),
+            added_cells=cells,
+            build_seconds=_time.perf_counter() - start,
+            per_shard=per_shard)
 
     # -- internals ----------------------------------------------------------------
     def _execute_plans(self, plans: list[QueryPlan],

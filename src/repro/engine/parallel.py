@@ -5,7 +5,12 @@ execute_plans_scatter`) is written against a tiny backend contract:
 
 * ``num_shards`` / ``constraint_pos`` — layout metadata;
 * ``scatter(tasks)`` — run every task against every shard, returning one
-  response list per shard, aligned with ``tasks``.
+  response list per shard, aligned with ``tasks``;
+* ``extension_stats(labels)`` / ``extend(constraints)`` — the schema-
+  lifecycle rounds: per-shard extension-planning aggregates over owned
+  nodes, and shard-local index builds for *added* constraints (owned
+  targets only, so the disjoint-union identity of
+  :mod:`repro.graph.partition` extends to the new indexes).
 
 Two implementations live here:
 
@@ -34,6 +39,8 @@ import pickle
 import threading
 from typing import Sequence
 
+from repro.constraints.index import FrozenConstraintIndex
+from repro.constraints.schema import AccessConstraint
 from repro.core.executor import run_shard_task
 from repro.errors import EngineError
 
@@ -52,6 +59,58 @@ class ShardRuntime:
 
     def handle(self, task: tuple):
         return run_shard_task(self.graph, self.schema_index, self.owned, task)
+
+    def extension_stats(self, labels: Sequence[str]) -> tuple[dict, dict]:
+        """Per-shard extension-planning aggregates over *owned* nodes,
+        restricted to ``labels``: label counts (merge by sum) and
+        neighbour-label bounds (merge by max). Owned nodes carry their
+        complete neighbourhood in the halo graph, so the merged values
+        equal :func:`repro.constraints.discovery.neighbor_label_bounds`
+        and ``label_count`` over the whole graph."""
+        wanted = set(labels)
+        counts: dict[str, int] = {}
+        bounds: dict[tuple[str, str], int] = {}
+        for v in self.owned:
+            label = self.graph.label_of(v)
+            if label not in wanted:
+                continue
+            counts[label] = counts.get(label, 0) + 1
+            per_label: dict[str, int] = {}
+            for w in self.graph.neighbors(v):
+                other = self.graph.label_of(w)
+                if other in wanted:
+                    per_label[other] = per_label.get(other, 0) + 1
+            for other, count in per_label.items():
+                key = (label, other)
+                if count > bounds.get(key, 0):
+                    bounds[key] = count
+        return counts, bounds
+
+    def extend(self, constraints: Sequence[AccessConstraint]) -> dict:
+        """Build and adopt shard-local indexes for *added* constraints.
+
+        Targets are the owned nodes with the constraint's target label —
+        the same enumeration as
+        :func:`repro.graph.partition.build_shard_indexes`, so the union
+        of the new shard entries for any key equals the global entry.
+        The index goes live (``adopt_index``) before the constraint is
+        appended to the shard's schema, mirroring the parent catalog's
+        publish ordering."""
+        built = 0
+        cells = 0
+        for constraint in constraints:
+            if self.schema_index.has_index(constraint):
+                continue
+            targets = [w for w in
+                       self.graph.nodes_with_label(constraint.target)
+                       if w in self.owned]
+            index = FrozenConstraintIndex(constraint, self.graph,
+                                          targets=targets)
+            self.schema_index.adopt_index(constraint, index)
+            self.schema_index.schema.add(constraint)
+            built += 1
+            cells += index.size
+        return {"shard_id": self.shard_id, "built": built, "cells": cells}
 
     def __repr__(self) -> str:
         return (f"ShardRuntime({self.shard_id}, owned={len(self.owned)}, "
@@ -82,6 +141,22 @@ class InlineShardBackend:
     def scatter(self, tasks: list[tuple]) -> list[list]:
         return [[runtime.handle(task) for task in tasks]
                 for runtime in self.runtimes]
+
+    def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
+        """Per-shard (label counts, neighbour bounds) in shard order."""
+        return [runtime.extension_stats(labels)
+                for runtime in self.runtimes]
+
+    def extend(self, constraints: Sequence[AccessConstraint]) -> list[dict]:
+        """Build shard-local indexes for the added constraints on every
+        shard; per-shard build summaries in shard order. The position
+        table grows *before* returning, so the parent may publish the
+        new generation the moment this call completes."""
+        results = [runtime.extend(constraints) for runtime in self.runtimes]
+        for constraint in constraints:
+            self.constraint_pos.setdefault(constraint,
+                                           len(self.constraint_pos))
+        return results
 
     def close(self) -> None:  # symmetric with the process backend
         pass
@@ -115,13 +190,27 @@ def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
             message = conn.recv()
         except EOFError:
             break
-        if message[0] == "close":
+        kind = message[0]
+        if kind == "close":
             break
         try:
-            _, tasks = message
-            payload = {runtime.shard_id: [runtime.handle(task)
-                                          for task in tasks]
-                       for runtime in runtimes}
+            if kind == "scatter":
+                _, tasks = message
+                payload = {runtime.shard_id: [runtime.handle(task)
+                                              for task in tasks]
+                           for runtime in runtimes}
+            elif kind == "stats":
+                _, labels = message
+                payload = {runtime.shard_id: runtime.extension_stats(labels)
+                           for runtime in runtimes}
+            elif kind == "extend":
+                _, docs = message
+                constraints = [AccessConstraint.from_dict(doc)
+                               for doc in docs]
+                payload = {runtime.shard_id: runtime.extend(constraints)
+                           for runtime in runtimes}
+            else:
+                raise EngineError(f"unknown worker message {kind!r}")
             conn.send(("ok", payload))
         except BaseException as exc:  # noqa: BLE001 — keep serving
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -189,21 +278,20 @@ class ProcessShardBackend:
     def workers(self) -> int:
         return len(self._workers)
 
-    def scatter(self, tasks: list[tuple]) -> list[list]:
-        """One scatter round: every worker runs ``tasks`` on each of its
-        shards; responses come back in shard order. Rounds serialize
-        under a lock (see module docstring)."""
+    def _round(self, message: tuple) -> dict:
+        """Broadcast one message to every worker and gather the merged
+        ``{shard_id: payload}`` responses. Rounds serialize under a lock
+        (see module docstring)."""
         with self._lock:
             if self._closed:
                 raise EngineError("shard worker pool is closed")
             # Serialize the broadcast once, not once per worker
             # (send_bytes of a pickle is what Connection.send does
             # internally, so worker-side recv() is unchanged).
-            blob = pickle.dumps(("scatter", tasks),
-                                protocol=pickle.HIGHEST_PROTOCOL)
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
             for _, conn, _ in self._workers:
                 conn.send_bytes(blob)
-            by_shard: dict[int, list] = {}
+            by_shard: dict[int, object] = {}
             errors: list[str] = []
             for _, conn, worker_shards in self._workers:
                 try:
@@ -223,6 +311,29 @@ class ProcessShardBackend:
                     by_shard.update(payload)
             if errors:
                 raise EngineError(f"shard worker error: {'; '.join(errors)}")
+        return by_shard
+
+    def scatter(self, tasks: list[tuple]) -> list[list]:
+        """One scatter round: every worker runs ``tasks`` on each of its
+        shards; responses come back in shard order."""
+        by_shard = self._round(("scatter", tasks))
+        return [by_shard[shard_id] for shard_id in self._shard_ids]
+
+    def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
+        """Per-shard (label counts, neighbour bounds) in shard order."""
+        by_shard = self._round(("stats", list(labels)))
+        return [by_shard[shard_id] for shard_id in self._shard_ids]
+
+    def extend(self, constraints: Sequence[AccessConstraint]) -> list[dict]:
+        """One extension round: every worker builds shard-local indexes
+        for the added constraints over its shards' owned targets.
+        Constraints cross the pipe as their JSON documents; the position
+        table grows before returning so the parent may publish the new
+        catalog generation immediately."""
+        by_shard = self._round(("extend", [c.to_dict() for c in constraints]))
+        for constraint in constraints:
+            self.constraint_pos.setdefault(constraint,
+                                           len(self.constraint_pos))
         return [by_shard[shard_id] for shard_id in self._shard_ids]
 
     def close(self) -> None:

@@ -81,8 +81,17 @@ from repro.pattern.predicates import Atom, Predicate
 #: canonical pattern fingerprint. Version 2 added the sharded layout
 #: (``layout: "sharded"`` manifests referencing per-shard sub-artifacts
 #: plus ``partition.bin``); single-directory artifacts are bumped with it
-#: so one number describes the whole artifact family.
-FORMAT_VERSION = 2
+#: so one number describes the whole artifact family. Version 3 added
+#: the schema catalog (``catalog.json``: generation history + extension
+#: provenance, checksummed like every payload).
+FORMAT_VERSION = 3
+
+#: Versions this library still *opens*. Version-2 artifacts predate the
+#: schema catalog; they open **read-only** (frozen sessions) with a
+#: synthesized generation-0 catalog — thawing (``frozen=False``) or
+#: extending them on disk requires a re-compile to version 3, so the
+#: catalog history is never silently invented for a mutable lineage.
+SUPPORTED_READ_VERSIONS = (2, FORMAT_VERSION)
 
 FORMAT_NAME = "repro-engine-artifact"
 
@@ -91,16 +100,30 @@ GRAPH_FILE = "graph.bin"
 GRAPH_META_FILE = "graph.meta.json"
 INDEX_FILE = "index.bin"
 PLANS_FILE = "plans.json"
+CATALOG_FILE = "catalog.json"
 STALE_FILE = "STALE"
 PARTITION_FILE = "partition.bin"
 
 #: Files whose checksums a single-layout manifest records (everything
 #: but itself and the stale marker).
-PAYLOAD_FILES = (GRAPH_FILE, GRAPH_META_FILE, INDEX_FILE, PLANS_FILE)
+PAYLOAD_FILES = (GRAPH_FILE, GRAPH_META_FILE, INDEX_FILE, PLANS_FILE,
+                 CATALOG_FILE)
 
 #: Top-level payload files of a sharded-layout artifact; each shard
 #: directory is additionally a complete single-layout artifact.
-SHARDED_PAYLOAD_FILES = (PLANS_FILE, PARTITION_FILE)
+SHARDED_PAYLOAD_FILES = (PLANS_FILE, PARTITION_FILE, CATALOG_FILE)
+
+#: The payload sets of version-2 artifacts (no catalog file).
+_V2_PAYLOAD_FILES = (GRAPH_FILE, GRAPH_META_FILE, INDEX_FILE, PLANS_FILE)
+_V2_SHARDED_PAYLOAD_FILES = (PLANS_FILE, PARTITION_FILE)
+
+
+def _expected_payloads(manifest: dict) -> tuple:
+    """The payload-file set a manifest's version and layout promise."""
+    sharded = manifest.get("layout") == "sharded"
+    if manifest.get("format_version") == FORMAT_VERSION:
+        return SHARDED_PAYLOAD_FILES if sharded else PAYLOAD_FILES
+    return _V2_SHARDED_PAYLOAD_FILES if sharded else _V2_PAYLOAD_FILES
 
 
 def shard_dir_name(shard_id: int) -> str:
@@ -263,11 +286,12 @@ def _encode_plan_entries(engine) -> list[dict]:
     constraint_pos = {c: i for i, c in enumerate(engine.schema)}
     entries = []
     for cache_key, entry in engine.plan_cache.items():
-        if not entry.usable_by(engine.schema):
+        if not entry.usable_by(engine.catalog):
             continue  # foreign-schema or stale-negative entry in a shared cache
         key, semantics = cache_key
         doc = {"key": key, "semantics": semantics,
-               "order": list(entry.order), "schema_size": entry.schema_size}
+               "order": list(entry.order), "version": entry.version,
+               "schema_size": entry.schema_size}
         if entry.error is not None:
             doc["error"] = {
                 "message": str(entry.error),
@@ -296,11 +320,13 @@ def _decode_plan_entries(payload: dict, schema: AccessSchema):
                 uncovered_edges=[(int(u), int(v))
                                  for u, v in error_doc["uncovered_edges"]])
             entry = _CacheEntry(order=order, schema=schema,
+                                version=int(doc.get("version", 0)),
                                 schema_size=int(doc["schema_size"]),
                                 error=error)
         else:
             plan = _decode_plan(doc["plan"], schema, constraints)
             entry = _CacheEntry(order=order, schema=schema,
+                                version=int(doc.get("version", 0)),
                                 schema_size=int(doc["schema_size"]),
                                 plan=plan)
         yield cache_key, entry
@@ -342,6 +368,7 @@ def save_engine(engine, path) -> dict:
         GRAPH_META_FILE: json.dumps(graph_meta).encode("utf-8"),
         INDEX_FILE: pack_buffers(index_buffers),
         PLANS_FILE: json.dumps({"entries": plan_entries}).encode("utf-8"),
+        CATALOG_FILE: json.dumps(engine.catalog.to_dict()).encode("utf-8"),
     }
     manifest = {
         "format": FORMAT_NAME,
@@ -352,6 +379,7 @@ def save_engine(engine, path) -> dict:
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
                   "labels": len(graph.labels())},
         "schema": engine.schema.to_dict(),
+        "schema_version": engine.catalog.version,
         "index": index_meta,
         "plans": {"entries": len(plan_entries)},
         "files": {name: {"sha256": hashlib.sha256(data).hexdigest(),
@@ -384,16 +412,19 @@ def _read_manifest(path: Path) -> dict:
             f"{manifest_path} is not a {FORMAT_NAME} manifest",
             path=str(manifest_path))
     found = manifest.get("format_version")
-    if found != FORMAT_VERSION:
+    if found not in SUPPORTED_READ_VERSIONS:
         raise ArtifactVersionMismatch(
             f"artifact at {path} has format version {found!r}; this library "
-            f"reads version {FORMAT_VERSION} — re-compile the artifact",
+            f"reads versions {SUPPORTED_READ_VERSIONS} — re-compile the "
+            f"artifact",
             found=found, supported=FORMAT_VERSION)
     return manifest
 
 
 def _read_payloads(path: Path, manifest: dict,
-                   expected: tuple = PAYLOAD_FILES) -> dict:
+                   expected: tuple | None = None) -> dict:
+    if expected is None:
+        expected = _expected_payloads(manifest)
     files = manifest.get("files")
     if not isinstance(files, dict) or set(files) != set(expected):
         raise ArtifactCorrupt(
@@ -443,8 +474,25 @@ def mark_stale(path, reason: str) -> None:
         json.dumps({"reason": reason}) + "\n", encoding="utf-8")
 
 
+def _decode_catalog(path: Path, manifest: dict,
+                    schema: AccessSchema, payload: bytes | None):
+    """Rehydrate the schema catalog of a v3 artifact, or synthesize a
+    generation-0 catalog for a v2 one (``payload=None``)."""
+    from repro.constraints.catalog import SchemaCatalog
+    from repro.errors import SchemaError
+
+    if payload is None:
+        return SchemaCatalog(schema, provenance={"origin": "v2-artifact"})
+    try:
+        return SchemaCatalog.from_dict(json.loads(payload), schema)
+    except (ValueError, SchemaError) as exc:
+        raise ArtifactCorrupt(
+            f"malformed schema catalog in {path / CATALOG_FILE}: {exc}",
+            path=str(path / CATALOG_FILE)) from exc
+
+
 def _load_frozen_parts(path: Path, manifest: dict):
-    """``(schema, graph, indexes, plans_payload)`` from a single-layout
+    """``(catalog, graph, indexes, plans_payload)`` from a single-layout
     artifact directory whose manifest has already been read."""
     payloads = _read_payloads(path, manifest)
     byteswap = manifest.get("byteorder") != sys.byteorder
@@ -455,6 +503,8 @@ def _load_frozen_parts(path: Path, manifest: dict):
     except (KeyError, ValueError) as exc:
         raise ArtifactCorrupt(f"malformed artifact JSON at {path}: {exc}",
                               path=str(path)) from exc
+    catalog = _decode_catalog(path, manifest, schema,
+                              payloads.get(CATALOG_FILE))
 
     graph_buffers = unpack_buffers(payloads[GRAPH_FILE], byteswap=byteswap,
                                    source=GRAPH_FILE)
@@ -470,7 +520,7 @@ def _load_frozen_parts(path: Path, manifest: dict):
     for i, constraint in enumerate(schema):
         indexes[constraint] = FrozenConstraintIndex.from_buffers(
             constraint, per_constraint.get(f"c{i}", {}))
-    return schema, graph, indexes, plans_payload
+    return catalog, graph, indexes, plans_payload
 
 
 def _decode_plan_cache(path: Path, plans_payload: dict, schema,
@@ -539,16 +589,27 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
             f"artifact at {path} is stale ({stale.get('reason', 'unknown')}); "
             f"re-compile it or pass allow_stale=True",
             reason=stale.get("reason"))
-    schema, graph, indexes, plans_payload = _load_frozen_parts(path, manifest)
+    if not frozen and manifest.get("format_version") != FORMAT_VERSION:
+        # The 2 -> 3 migration path: old artifacts stay servable on the
+        # read path, but a mutable lineage needs a real catalog history,
+        # which only a re-compile can establish.
+        raise ArtifactVersionMismatch(
+            f"artifact at {path} has format version "
+            f"{manifest.get('format_version')} and opens read-only "
+            f"(frozen); re-compile it to version {FORMAT_VERSION} for a "
+            f"mutable session",
+            found=manifest.get("format_version"), supported=FORMAT_VERSION)
+    catalog, graph, indexes, plans_payload = _load_frozen_parts(path, manifest)
+    schema = catalog.current
     plan_cache = _decode_plan_cache(path, plans_payload, schema, cache_size)
 
     if frozen:
         schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
-        engine = QueryEngine(graph, schema, frozen=True, validate=validate,
+        engine = QueryEngine(graph, catalog, frozen=True, validate=validate,
                              cache_size=cache_size, plan_cache=plan_cache,
                              schema_index=schema_index)
     else:
-        engine = QueryEngine(graph.thaw(), schema, frozen=False,
+        engine = QueryEngine(graph.thaw(), catalog, frozen=False,
                              validate=validate, cache_size=cache_size,
                              plan_cache=plan_cache)
 
@@ -594,7 +655,7 @@ def save_sharded_engine(engine, path, shards: int) -> dict:
     shard_meta = []
     for shard, schema_index in zip(partition.shards, shard_indexes):
         shard_path = path / shard_dir_name(shard.shard_id)
-        session = _ShardSession(graph=shard.graph, schema=engine.schema,
+        session = _ShardSession(graph=shard.graph, catalog=engine.catalog,
                                 schema_index=schema_index,
                                 plan_cache=PlanCache(1))
         manifest = save_engine(session, shard_path)
@@ -619,6 +680,7 @@ def save_sharded_engine(engine, path, shards: int) -> dict:
     contents = {
         PLANS_FILE: json.dumps({"entries": plan_entries}).encode("utf-8"),
         PARTITION_FILE: pack_buffers(partition_buffers),
+        CATALOG_FILE: json.dumps(engine.catalog.to_dict()).encode("utf-8"),
     }
     manifest = {
         "format": FORMAT_NAME,
@@ -629,6 +691,7 @@ def save_sharded_engine(engine, path, shards: int) -> dict:
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges,
                   "labels": len(graph.labels())},
         "schema": engine.schema.to_dict(),
+        "schema_version": engine.catalog.version,
         "partition": {"num_shards": partition.num_shards,
                       "cross_edges": partition.cross_edges},
         "shards": shard_meta,
@@ -652,11 +715,106 @@ class _ShardSession:
     """The slice of the ``QueryEngine`` surface :func:`save_engine`
     needs, for saving one shard as a standard artifact."""
 
-    def __init__(self, graph, schema, schema_index, plan_cache):
+    def __init__(self, graph, catalog, schema_index, plan_cache):
         self.graph = graph
-        self.schema = schema
+        self.catalog = catalog
+        self.schema = catalog.current
         self.schema_index = schema_index
         self.plan_cache = plan_cache
+
+
+def save_extended_sharded(engine, source, path) -> dict:
+    """Persist an inline sharded session — typically one grown by
+    ``extend_schema`` — as a sharded artifact at ``path``, reusing the
+    partition of the artifact it was opened from (``source``).
+
+    This is the on-disk half of incremental extension: the partition is
+    **not** recomputed and no index is rebuilt — each shard directory is
+    re-serialized from its loaded runtime, whose indexes for the added
+    constraints were built incrementally over owned targets only.
+    ``path`` may equal ``source`` (in-place extension: the loaded
+    payloads are plain in-memory bytes, so overwriting is safe).
+    """
+    from repro import __version__
+    from repro.engine.cache import PlanCache
+    from repro.engine.parallel import InlineShardBackend
+
+    source = Path(source)
+    path = Path(path)
+    src_manifest = _read_manifest(source)
+    if src_manifest.get("layout") != "sharded":
+        raise EngineError(f"artifact at {source} is not sharded")
+    backend = getattr(engine, "_shards", None)
+    if not isinstance(backend, InlineShardBackend):
+        raise EngineError(
+            "saving an extended sharded artifact requires an inline "
+            "sharded session (open_path(..., workers=0))")
+    try:
+        partition_bytes = (source / PARTITION_FILE).read_bytes()
+    except OSError as exc:
+        raise ArtifactCorrupt(
+            f"missing artifact file {source / PARTITION_FILE}: {exc}",
+            path=str(source / PARTITION_FILE)) from exc
+    if src_manifest.get("byteorder") != sys.byteorder:
+        # Everything else re-encodes natively below; re-encode the
+        # copied partition payload too so one byteorder describes the
+        # whole new artifact.
+        partition_bytes = pack_buffers(unpack_buffers(
+            partition_bytes, byteswap=True, source=PARTITION_FILE))
+    path.mkdir(parents=True, exist_ok=True)
+
+    shard_meta = []
+    for runtime in backend.runtimes:
+        shard_path = path / shard_dir_name(runtime.shard_id)
+        session = _ShardSession(graph=runtime.graph, catalog=engine.catalog,
+                                schema_index=runtime.schema_index,
+                                plan_cache=PlanCache(1))
+        manifest = save_engine(session, shard_path)
+        manifest_bytes = (shard_path / MANIFEST_FILE).read_bytes()
+        shard_meta.append({
+            "dir": shard_dir_name(runtime.shard_id),
+            "manifest_sha256": hashlib.sha256(manifest_bytes).hexdigest(),
+            "nodes": runtime.graph.num_nodes,
+            "edges": runtime.graph.num_edges,
+            "owned_nodes": len(runtime.owned),
+            "owned_edges": sum(runtime.graph.out_degree(v)
+                               for v in runtime.owned),
+            "halo_nodes": runtime.graph.num_nodes - len(runtime.owned),
+            "bytes": sum(meta["bytes"]
+                         for meta in manifest["files"].values()),
+        })
+
+    plan_entries = _encode_plan_entries(engine)
+    contents = {
+        PLANS_FILE: json.dumps({"entries": plan_entries}).encode("utf-8"),
+        PARTITION_FILE: partition_bytes,
+        CATALOG_FILE: json.dumps(engine.catalog.to_dict()).encode("utf-8"),
+    }
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "layout": "sharded",
+        "library_version": __version__,
+        "byteorder": sys.byteorder,
+        "graph": dict(src_manifest.get("graph", {})),
+        "schema": engine.schema.to_dict(),
+        "schema_version": engine.catalog.version,
+        "partition": dict(src_manifest.get("partition", {})),
+        "shards": shard_meta,
+        "plans": {"entries": len(plan_entries)},
+        "files": {name: {"sha256": hashlib.sha256(data).hexdigest(),
+                         "bytes": len(data)}
+                  for name, data in contents.items()},
+    }
+    for name, data in contents.items():
+        (path / name).write_bytes(data)
+    # Manifest last, staleness cleared by the fresh save — the same
+    # crash-safety discipline as save_engine/save_sharded_engine.
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2) + "\n",
+                                      encoding="utf-8")
+    (path / STALE_FILE).unlink(missing_ok=True)
+    engine.artifact_path = path
+    return manifest
 
 
 def _shard_manifests(path: Path, manifest: dict,
@@ -700,7 +858,7 @@ def verify_sharded_artifact(path, manifest: dict | None = None) -> int:
     path = Path(path)
     if manifest is None:
         manifest = _read_manifest(path)
-    _read_payloads(path, manifest, expected=SHARDED_PAYLOAD_FILES)
+    _read_payloads(path, manifest)
     shard_entries = _shard_manifests(path, manifest)
     for _, shard_path, shard_manifest in shard_entries:
         _read_payloads(shard_path, shard_manifest)
@@ -718,8 +876,7 @@ def load_shard_runtimes(path, shard_ids) -> list:
     if manifest.get("layout") != "sharded":
         raise ArtifactCorrupt(f"artifact at {path} is not sharded",
                               path=str(path))
-    payloads = _read_payloads(path, manifest,
-                              expected=SHARDED_PAYLOAD_FILES)
+    payloads = _read_payloads(path, manifest)
     byteswap = manifest.get("byteorder") != sys.byteorder
     partition_buffers = unpack_buffers(payloads[PARTITION_FILE],
                                        byteswap=byteswap,
@@ -742,9 +899,10 @@ def load_shard_runtimes(path, shard_ids) -> list:
                 f"buffer for shard {shard_id}",
                 path=str(path / PARTITION_FILE))
         shard_path, shard_manifest = shard_entries[shard_id]
-        schema, graph, indexes, _ = _load_frozen_parts(shard_path,
-                                                       shard_manifest)
-        schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
+        catalog, graph, indexes, _ = _load_frozen_parts(shard_path,
+                                                        shard_manifest)
+        schema_index = SchemaIndex.from_prebuilt(graph, catalog.current,
+                                                 indexes)
         runtimes.append(ShardRuntime(shard_id, graph, schema_index,
                                      list(owned)))
     return runtimes
@@ -797,6 +955,15 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactCorrupt(f"malformed sharded manifest at {path}: {exc}",
                               path=str(path)) from exc
+    catalog_payload = None
+    if manifest.get("format_version") == FORMAT_VERSION:
+        try:
+            catalog_payload = (path / CATALOG_FILE).read_bytes()
+        except OSError as exc:
+            raise ArtifactCorrupt(
+                f"missing artifact file {path / CATALOG_FILE}: {exc}",
+                path=str(path / CATALOG_FILE)) from exc
+    catalog = _decode_catalog(path, manifest, schema, catalog_payload)
     plan_cache = _decode_plan_cache(path, plans_payload, schema, cache_size)
 
     if workers:
@@ -806,7 +973,7 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
     else:
         runtimes = load_shard_runtimes(path, range(num_shards))
         backend = InlineShardBackend(runtimes, schema)
-    engine = QueryEngine.from_shards(backend, schema, summary,
+    engine = QueryEngine.from_shards(backend, catalog, summary,
                                      plan_cache=plan_cache,
                                      cache_size=cache_size)
     engine.artifact_path = path
@@ -845,9 +1012,24 @@ def inspect_artifact(path) -> dict:
         "constraints": len(manifest.get("index", [])),
         "index": manifest.get("index", []),
         "cached_plans": manifest.get("plans", {}).get("entries", 0),
+        "schema_version": manifest.get("schema_version", 0),
+        "generations": [],
         "stale": stale_info(path),
         "files": files,
     }
+    catalog_path = path / CATALOG_FILE
+    if catalog_path.is_file():
+        try:
+            catalog_doc = json.loads(catalog_path.read_text(encoding="utf-8"))
+            info["generations"] = [
+                {"version": gen.get("version"),
+                 "added": len(gen.get("added", ())),
+                 "size": gen.get("size"),
+                 "provenance": gen.get("provenance", {})}
+                for gen in catalog_doc.get("generations", ())]
+        except (OSError, ValueError):
+            info["generations"] = [{"version": None,
+                                    "provenance": {"error": "unreadable"}}]
     if info["layout"] == "sharded":
         info["constraints"] = len(manifest.get("schema", {})
                                   .get("constraints", []))
@@ -880,8 +1062,18 @@ def render_inspection(info: dict) -> str:
         f"{graph.get('labels')} labels",
         f"  constraints: {info['constraints']}",
         f"  cached plans: {info['cached_plans']}",
+        f"  schema version: {info.get('schema_version', 0)}",
         f"  stale: {info['stale'].get('reason') if info['stale'] else 'no'}",
     ]
+    for gen in info.get("generations", ()):
+        provenance = gen.get("provenance", {})
+        origin = provenance.get("origin", "?")
+        extras = ", ".join(f"{k}={v}" for k, v in sorted(provenance.items())
+                           if k != "origin")
+        lines.append(
+            f"    generation {gen.get('version')}: +{gen.get('added', 0)} "
+            f"constraints -> ||A|| = {gen.get('size')} "
+            f"(origin {origin}{', ' + extras if extras else ''})")
     for name, meta in info.get("files", {}).items():
         lines.append(f"  file {name}: {meta['bytes']} bytes [{meta['status']}]")
     if info.get("layout") == "sharded":
@@ -914,6 +1106,7 @@ def render_inspection(info: dict) -> str:
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_READ_VERSIONS",
     "ArtifactError",
     "artifact_layout",
     "inspect_artifact",
@@ -923,6 +1116,7 @@ __all__ = [
     "pack_buffers",
     "render_inspection",
     "save_engine",
+    "save_extended_sharded",
     "save_sharded_engine",
     "shard_dir_name",
     "stale_info",

@@ -92,6 +92,26 @@ class EngineError(ReproError):
     (e.g. applying updates to a frozen session)."""
 
 
+class ExtensionError(EngineError):
+    """Raised when an M-bounded schema extension cannot be planned or
+    applied: no extension within the budget ``M`` makes the workload
+    instance-bounded, or the extension exceeds a configured size cap.
+
+    Attributes
+    ----------
+    m:
+        The extension budget the planner ran under, when known.
+    needed:
+        How many constraints the extension would need, when the failure
+        is a size-cap violation.
+    """
+
+    def __init__(self, message, m=None, needed=None):
+        self.m = m
+        self.needed = needed
+        super().__init__(message)
+
+
 class ArtifactError(EngineError):
     """Base class for persistent-artifact failures (see
     :mod:`repro.engine.persist`). Raised when a compiled snapshot on disk

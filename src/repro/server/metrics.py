@@ -37,6 +37,9 @@ class ServerMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.reloads = 0
+        self.rescued = 0
+        self.rescue_failed = 0
+        self.rescued_constraints = 0
 
     # -- recording -----------------------------------------------------------
     def record_request(self) -> None:
@@ -82,6 +85,19 @@ class ServerMetrics:
         with self._lock:
             self.reloads += 1
 
+    def record_rescued(self, constraints_added: int) -> None:
+        """A query first rejected as unbounded was re-admitted after an
+        online M-bounded extension added ``constraints_added``
+        constraints (0 when a concurrent rescue already covered it)."""
+        with self._lock:
+            self.rescued += 1
+            self.rescued_constraints += constraints_added
+
+    def record_rescue_failed(self) -> None:
+        """No extension within the budget could bound the query."""
+        with self._lock:
+            self.rescue_failed += 1
+
     # -- reading -------------------------------------------------------------
     def snapshot(self) -> dict:
         """One JSON-serializable dict with everything the ``metrics`` op
@@ -104,6 +120,9 @@ class ServerMetrics:
                 "batches": self.batches,
                 "batched_requests": self.batched_requests,
                 "reloads": self.reloads,
+                "rescued": self.rescued,
+                "rescue_failed": self.rescue_failed,
+                "rescued_constraints": self.rescued_constraints,
             }
         # Recent qps over the retained window; falls back to lifetime qps
         # while the window spans the whole life of the service.
@@ -112,9 +131,18 @@ class ServerMetrics:
             recent_qps = (len(finished) - 1) / (finished[-1] - finished[0])
         elif finished and uptime > 0:
             recent_qps = len(finished) / uptime
+        # Workload bounded-fraction: of the queries that reached a final
+        # admission verdict, how many had a bounded plan? A rescued query
+        # counts as bounded (its initial unbounded rejection is repaid by
+        # the rescue), so the fraction reflects the schema the service
+        # *now* serves, not the one it started with.
+        unbounded_final = max(0, rejected["unbounded"] - counters["rescued"])
+        verdicts = counters["admitted"] + unbounded_final
         return {
             **counters,
             "rejected": rejected,
+            "bounded_fraction": (counters["admitted"] / verdicts)
+            if verdicts else 1.0,
             "uptime_s": uptime,
             "qps": (counters["answered"] / uptime) if uptime > 0 else 0.0,
             "recent_qps": recent_qps,

@@ -28,7 +28,12 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import DeadlineExceeded, ServerError, ServiceOverloaded
+from repro.errors import (
+    DeadlineExceeded,
+    NotEffectivelyBounded,
+    ServerError,
+    ServiceOverloaded,
+)
 from repro.server import protocol
 from repro.server.service import AdmittedQuery, QueryService
 
@@ -217,7 +222,18 @@ class QueryServer:
                                                        (int, float))
                                         or isinstance(deadline_ms, bool)):
             raise ServerError("'deadline_ms' must be a number")
-        admitted = self.service.admit(pattern, semantics, limit=limit)
+        try:
+            admitted = self.service.admit(pattern, semantics, limit=limit)
+        except NotEffectivelyBounded:
+            if not self.service.can_rescue:
+                raise
+            # The rescue pipeline: this coroutine parks right here while
+            # the extension plans and builds on the executor (off the
+            # event loop — admission of other requests keeps flowing).
+            # On success the query re-admits and proceeds like any
+            # other; on failure the typed rejection propagates.
+            admitted = await self._loop.run_in_executor(
+                None, self.service.rescue, pattern, semantics, limit)
         now = self._loop.time()
         item = _QueueItem(
             request=admitted, future=self._loop.create_future(),

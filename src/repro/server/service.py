@@ -15,6 +15,17 @@ data is fetched, so a query costing more than the configured budget is
 rejected with :class:`~repro.errors.AdmissionRejected` instead of ever
 executing unbounded. Unbounded queries (no plan at all) are likewise
 typed rejections, not executions.
+
+With an ``--extend-budget`` configured, an unbounded rejection is no
+longer final: the **rescue pipeline** (:meth:`QueryService.rescue`)
+parks the query, plans the greedy minimum M-bounded extension off the
+serving path (Section V of the paper, online), builds indexes for only
+the added constraints, publishes them through the engine's
+:class:`~repro.constraints.catalog.SchemaCatalog` with the hot-reload
+swap discipline, and re-admits the parked query — all without a server
+restart or a full index rebuild. Rescues serialize under one lock;
+queries parked behind an in-flight rescue usually re-admit from its
+result without planning anything.
 """
 
 from __future__ import annotations
@@ -23,9 +34,16 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.core.actualized import SEMANTICS, SUBGRAPH
-from repro.engine import PlanCache, PreparedQuery, QueryEngine
+from repro.engine import (
+    PlanCache,
+    PreparedQuery,
+    QueryEngine,
+    pattern_fingerprint,
+    plan_extension,
+)
 from repro.errors import (
     AdmissionRejected,
+    ExtensionError,
     NotEffectivelyBounded,
     ReproError,
     ServerError,
@@ -80,12 +98,22 @@ class QueryService:
     answer_limit:
         Default cap on matches/pairs returned per response (requests may
         lower or raise it; the count is always exact).
+    extend_budget:
+        The rescue pipeline's ``M``: a query rejected as unbounded is
+        parked and the schema extended online with constraints whose
+        bounds are at most this (Section V's M-bounded extension).
+        ``None`` (default) disables rescue — unbounded stays a final,
+        typed rejection.
+    extend_max_added:
+        Size cap on one rescue's extension: more added constraints than
+        this fails the rescue instead of ballooning the index set.
     """
 
     def __init__(self, engine: QueryEngine, *, max_cost: float | None = None,
                  workers: int = 4, max_batch: int = 32,
                  batch_window_ms: float = 0.0, max_queue: int = 256,
-                 answer_limit: int = 10):
+                 answer_limit: int = 10, extend_budget: int | None = None,
+                 extend_max_added: int | None = None):
         if not engine.frozen:
             raise ServerError(
                 "QueryService requires a frozen engine session (the "
@@ -111,6 +139,19 @@ class QueryService:
         self.batch_window_ms = batch_window_ms
         self.max_queue = max_queue
         self.answer_limit = answer_limit
+        self.extend_budget = extend_budget
+        self.extend_max_added = extend_max_added
+        # Rescues serialize: one off-path extension at a time; queries
+        # parked behind it re-check admission under the lock and usually
+        # ride the winner's new schema generation for free.
+        self._rescue_lock = threading.Lock()
+        # Failed rescues are negatively cached per (canonical pattern,
+        # semantics) at the schema generation they failed under: a
+        # repeated unrescuable query must fail fast, not re-run
+        # extension planning under the rescue lock on every request. A
+        # later generation invalidates the entry — the schema that grew
+        # may now rescue it.
+        self._rescue_failures = PlanCache(maxsize=512)
         self.metrics = ServerMetrics()
         # Admission parse cache: serving traffic repeats a handful of
         # query texts, so the DSL parse is paid once per text, not per
@@ -147,6 +188,12 @@ class QueryService:
         except NotEffectivelyBounded:
             self.metrics.record_rejected("unbounded")
             raise
+        return self._finish_admission(prepared, pattern, semantics, limit)
+
+    def _finish_admission(self, prepared: PreparedQuery, pattern: Pattern,
+                          semantics: str, limit: int | None) -> AdmittedQuery:
+        """The cost-budget half of admission, shared with the rescue
+        path (which re-prepares under the rescue lock)."""
         cost = prepared.worst_case_total_accessed
         if self.max_cost is not None and cost > self.max_cost:
             self.metrics.record_rejected("over_budget")
@@ -160,6 +207,86 @@ class QueryService:
                              prepared=prepared,
                              limit=self.answer_limit if limit is None
                              else limit)
+
+    # -- rescue (online M-bounded extension) ---------------------------------
+    @property
+    def can_rescue(self) -> bool:
+        """True when unbounded rejections go through the rescue pipeline."""
+        return self.extend_budget is not None
+
+    def rescue(self, pattern, semantics: str = SUBGRAPH,
+               limit: int | None = None) -> AdmittedQuery:
+        """Park-and-extend a query that admission rejected as unbounded.
+
+        Blocking — the front-end calls this from the executor, off the
+        event loop, while the requester's coroutine stays parked on the
+        result. Under the rescue lock: re-check admission (a concurrent
+        rescue may already have grown the schema far enough), otherwise
+        plan the greedy minimum M-bounded extension under
+        ``extend_budget``, build indexes for only the added constraints,
+        publish the new catalog generation, and re-admit. Raises
+        :class:`~repro.errors.NotEffectivelyBounded` when no extension
+        within the budget (or the size cap) bounds the query — then the
+        rejection really is final at this schema generation.
+        """
+        if not self.can_rescue:
+            raise ServerError(
+                "online schema extension is disabled (start the service "
+                "with extend_budget / --extend-budget M)")
+        if isinstance(pattern, str):
+            pattern = self._parse(pattern)
+        if semantics not in SEMANTICS:
+            raise ServerError(f"unknown semantics {semantics!r}; "
+                              f"expected one of {sorted(SEMANTICS)}")
+        failure_key = (pattern_fingerprint(pattern)[0], semantics)
+        failed_at = self._rescue_failures.get(failure_key)
+        if failed_at is not None \
+                and failed_at == self.engine.schema_version:
+            # Known unrescuable at this generation: fail fast without
+            # re-planning (and without touching the rescue lock).
+            self.metrics.record_rescue_failed()
+            raise NotEffectivelyBounded(
+                f"not effectively bounded, and not rescuable within "
+                f"extend-budget {self.extend_budget} (cached verdict at "
+                f"schema v{failed_at})")
+        with self._rescue_lock:
+            engine = self.engine
+            try:
+                prepared = engine.prepare(pattern, semantics)
+                # A rescue that landed while we waited covers this
+                # query: re-admit with nothing new to build. Counted as
+                # rescued only once admission (the cost budget) accepts.
+                admitted = self._finish_admission(prepared, pattern,
+                                                  semantics, limit)
+                self.metrics.record_rescued(0)
+                return admitted
+            except NotEffectivelyBounded:
+                pass
+            try:
+                plan = plan_extension(engine, [pattern], m=self.extend_budget,
+                                      semantics=semantics,
+                                      max_added=self.extend_max_added)
+                report = engine.extend_schema(
+                    plan.added,
+                    provenance={"origin": "rescue", "m": plan.m,
+                                "query": pattern.name or "query",
+                                "semantics": semantics})
+            except ExtensionError as exc:
+                self._rescue_failures.put(failure_key,
+                                          engine.schema_version)
+                self.metrics.record_rescue_failed()
+                raise NotEffectivelyBounded(
+                    f"not effectively bounded, and not rescuable within "
+                    f"extend-budget {self.extend_budget}: {exc}") from exc
+            prepared = engine.prepare(pattern, semantics)
+            # record_rescued only after the cost-budget half accepts:
+            # "rescued" means re-admitted, not merely bounded — an
+            # over-budget rescue is an AdmissionRejected, and counting
+            # it rescued would fake the bounded_fraction.
+            admitted = self._finish_admission(prepared, pattern, semantics,
+                                              limit)
+            self.metrics.record_rescued(len(report.added))
+            return admitted
 
     def _parse(self, text: str) -> Pattern:
         pattern = self._parse_cache.get(text)
@@ -285,10 +412,15 @@ class QueryService:
                     to_close = old
         if to_close is not None:
             to_close.close()
+        # A different artifact is a different graph: cached rescue
+        # failures recorded against the old engine's generations would
+        # wrongly fast-fail queries the new graph can rescue.
+        self._rescue_failures.clear()
         self.metrics.record_reload()
         return {"artifact": str(path), "nodes": engine.graph.num_nodes,
                 "edges": engine.graph.num_edges,
                 "constraints": len(engine.schema),
+                "schema_version": engine.schema_version,
                 "cached_plans": len(engine.plan_cache)}
 
     # -- lifecycle -----------------------------------------------------------
@@ -318,12 +450,15 @@ class QueryService:
             "batch_window_ms": self.batch_window_ms,
             "max_queue": self.max_queue,
             "max_cost": self.max_cost,
+            "extend_budget": self.extend_budget,
+            "schema_version": engine.schema_version,
             "plan_cache": {**cache,
                            "hit_rate": (cache["hits"] / lookups)
                            if lookups else 0.0},
             "engine": {"nodes": engine.graph.num_nodes,
                        "edges": engine.graph.num_edges,
                        "constraints": len(engine.schema),
+                       "schema_version": engine.schema_version,
                        "frozen": engine.frozen,
                        "sharded": engine.sharded,
                        "exec_workers": engine.exec_workers,

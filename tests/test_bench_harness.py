@@ -198,6 +198,7 @@ class TestCheckRegressionShardMetrics:
                  [{"mode": "serve_concurrent", "qps": 1.0,
                    "speedup_vs_prepared": 1.0}]),
                 ("shard", [{"mode": "sequential", "qps": 1.0}]),
+                ("extension", []),
         ):
             (results / f"{name}.json").write_text(
                 json.dumps({"rows": rows}), encoding="utf-8")

@@ -112,7 +112,8 @@ class TestCompile:
         capsys.readouterr()
         assert main(["compile", "--inspect", str(artifact)]) == 0
         out = capsys.readouterr().out
-        assert "format: repro-engine-artifact v2" in out
+        assert "format: repro-engine-artifact v3" in out
+        assert "schema version: 0" in out
         assert "[ok]" in out
 
     def test_compile_without_out_or_inputs(self, tmp_path, capsys):

@@ -6,6 +6,7 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
+    "repro.constraints.catalog",
     "repro.constraints.index",
     "repro.constraints.schema",
     "repro.core.ebchk",
