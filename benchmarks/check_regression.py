@@ -1,8 +1,9 @@
 """CI benchmark-regression gate.
 
 Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``,
-``benchmarks/bench_warm_start.py``, ``benchmarks/bench_serve.py``,
-``benchmarks/bench_shard.py`` and ``benchmarks/bench_extension.py``
+``benchmarks/bench_kernels.py``, ``benchmarks/bench_warm_start.py``,
+``benchmarks/bench_serve.py``, ``benchmarks/bench_shard.py`` and
+``benchmarks/bench_extension.py``
 (under ``.benchmarks/``) against the committed floors in
 ``benchmarks/baselines.json`` and exits non-zero when any metric drops
 more than ``TOLERANCE`` below its baseline.
@@ -51,6 +52,8 @@ def current_metrics(results_dir: Path) -> dict:
     """Flatten the benchmark JSON files into {suite: {metric: value}}."""
     throughput = _load(results_dir / "engine_throughput.json")
     by_mode = {row["mode"]: row for row in throughput["rows"]}
+    kernels = _load(results_dir / "kernels.json")
+    kernels_by_mode = {row["mode"]: row for row in kernels["rows"]}
     warm = _load(results_dir / "warm_start.json")
     warm_by_mode = {row["mode"]: row for row in warm["rows"]}
     serve = _load(results_dir / "serve.json")
@@ -75,6 +78,11 @@ def current_metrics(results_dir: Path) -> dict:
         "engine_throughput": {
             "prepared_qps": by_mode["prepared"]["qps"],
             "batched_qps": by_mode["batched"]["qps"],
+        },
+        "kernels": {
+            "speedup_vs_sequential":
+                kernels_by_mode["vectorized"]["speedup_vs_sequential"],
+            "vectorized_qps": kernels_by_mode["vectorized"]["qps"],
         },
         "warm_start": {
             "open_speedup": warm_by_mode["warm_open"]["open_speedup"],

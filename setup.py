@@ -1,10 +1,23 @@
-"""Setup shim for legacy editable installs.
+"""Packaging for the ``repro`` library (src layout, pure Python).
 
-All metadata lives in pyproject.toml; this file exists so environments
-without the ``wheel`` package (no PEP 660 backend) can still run
-``pip install -e .`` through setuptools' develop path.
+numpy is a declared runtime dependency because the engine's default
+execution strategy is the vectorized array-kernel executor
+(``repro/core/kernels.py``). It is still an *optional* fast path at
+runtime: without numpy the library imports cleanly and the engine
+auto-selects the sequential executor with identical answers and
+accounting (the ``tests-no-numpy`` CI job pins this), so constrained
+environments can strip the dependency.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Bounded pattern queries in big graphs — an ICDE 2015 "
+                "reproduction with a query-serving engine",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -73,6 +73,23 @@ class AccessStats:
             self._seen.add(node)
         self.edges_checked += count
 
+    def record_fetch_batch(self, fetches: int, nodes: int, seen) -> None:
+        """Record ``fetches`` index fetches returning ``nodes`` entries in
+        total, with ``seen`` the distinct-node update (an iterable of the
+        fetched node ids). Totals are identical to ``fetches`` individual
+        :meth:`record_fetch` calls — the vectorized executor uses this to
+        reproduce, not approximate, the sequential accounting."""
+        self.index_fetches += fetches
+        self.nodes_fetched += nodes
+        self._seen.update(seen)
+
+    def record_edge_fetch_batch(self, fetches: int, edges: int, seen) -> None:
+        """Batch form of :meth:`record_edge_fetch`: ``fetches`` edge-phase
+        index fetches returning ``edges`` entries in total."""
+        self.index_fetches += fetches
+        self.edges_checked += edges
+        self._seen.update(seen)
+
     def record_cache_hit(self) -> None:
         """Record one plan-cache hit (a prepare served without planning)."""
         self.plan_cache_hits += 1

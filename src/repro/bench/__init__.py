@@ -22,6 +22,7 @@ from repro.bench.harness import (
     fig5_varying_g,
     fig5_varying_q,
     fig6_instance_bounded,
+    kernel_speedup,
     serve_load,
     shard_scaling,
     timed,
@@ -48,6 +49,7 @@ __all__ = [
     "fig5_varying_g",
     "fig5_varying_q",
     "fig6_instance_bounded",
+    "kernel_speedup",
     "serve_load",
     "shard_scaling",
     "timed",

@@ -44,6 +44,7 @@ from statistics import mean
 
 from repro.accounting import AccessStats
 from repro.bench.datasets import get_dataset, get_engine, get_workload
+from repro.constraints.index import SchemaIndex
 from repro.core.actualized import SIMULATION, SUBGRAPH
 from repro.core.ebchk import is_effectively_bounded
 from repro.core.instance import min_m_for_fraction
@@ -506,6 +507,10 @@ def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
         for workers in worker_counts:
             with QueryEngine.open_path(artifact_path,
                                        workers=workers) as engine:
+                # workers=0 now serves the merged sequential view
+                # (strategy="auto"), so that row measures the 1-CPU fix
+                # rather than in-process scatter overhead.
+                strategy = engine.executor_strategy
                 identical = answers_identical(engine)
                 served, seconds = throughput(engine)
             qps = served / seconds
@@ -513,6 +518,7 @@ def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
                 one_worker_qps = qps
             rows.append({
                 "mode": "sharded", "shards": shards, "workers": workers,
+                "strategy": strategy,
                 "requests": served, "seconds": seconds, "qps": qps,
                 "answers_identical": identical,
                 "speedup_vs_sequential": qps / sequential_qps,
@@ -741,8 +747,10 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
     * ``cold`` — the seed repo's per-call pattern: a fresh engine per
       query, paying snapshot + index build + EBChk + QPlan every time
       (measured over one round of the distinct patterns);
-    * ``prepared`` — one warm engine session; every call after the first
-      per pattern hits the plan cache and only executes;
+    * ``prepared`` — one warm engine session with each shape prepared
+      ``warm=True`` (plan compiled *and* kernel caches pre-filled);
+      every timed call hits the plan cache and executes at steady-state
+      latency — the amortized serving rate;
     * ``batched`` — ``query_batch`` on a fresh session: plans compiled
       once per pattern *and* each distinct query executed once per batch.
 
@@ -788,7 +796,7 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
 
     warm_engine = open_serving_engine()
     for query in queries:
-        warm_engine.prepare(query, semantics)
+        warm_engine.prepare(query, semantics, warm=True)
     start = time.perf_counter()
     for query in workload:
         warm_engine.query(query, semantics, refresh=True)
@@ -806,6 +814,56 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
                  "seconds": batched_seconds,
                  "qps": len(workload) / batched_seconds,
                  "plan_cache_hits": batch_engine.stats.plan_cache_hits})
+    return rows
+
+
+def kernel_speedup(dataset: str = "imdb", scale: float = 0.05,
+                   distinct: int = 10, rounds: int = 5,
+                   semantics: str = SUBGRAPH, seed: int = 42) -> list[dict]:
+    """Executor-only speedup: the numpy array kernels vs the sequential
+    reference, same compiled plans over the same frozen session.
+
+    Unlike :func:`engine_throughput` this isolates
+    :func:`~repro.core.executor.execute_plan` against
+    :func:`~repro.core.kernels.execute_plan_vectorized` — no plan cache,
+    no matching, no engine bookkeeping — so the ratio is a direct read
+    on what the array kernels buy. Both executors are warmed with one
+    pass (filling the vectorized session caches; the sequential path
+    has no cross-execution state), then timed over ``rounds`` repeats
+    of the ``distinct``-query workload with fresh
+    :class:`~repro.accounting.AccessStats` per execution, mirroring a
+    serving loop. Raises :class:`BenchmarkError` without numpy — this
+    benchmark *is* the vectorized path.
+    """
+    from repro.core.executor import execute_plan
+    from repro.core.kernels import can_vectorize, execute_plan_vectorized
+    from repro.graph.frozen import FrozenGraph
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    queries = _bounded_queries(pool, schema, semantics, distinct)
+    index = SchemaIndex(FrozenGraph.from_graph(graph), schema, frozen=True)
+    if not can_vectorize(index):
+        raise BenchmarkError("kernel_speedup needs numpy — the bench "
+                             "measures the vectorized executor")
+    plans = [generate_plan(query, schema, semantics) for query in queries]
+    for plan in plans:  # warm-up: session caches, index + graph kernels
+        execute_plan(plan, index)
+        execute_plan_vectorized(plan, index)
+
+    rows = []
+    for mode, runner in (("sequential", execute_plan),
+                         ("vectorized", execute_plan_vectorized)):
+        executions = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for plan in plans:
+                runner(plan, index, stats=AccessStats())
+                executions += 1
+        seconds = time.perf_counter() - start
+        rows.append({"mode": mode, "executions": executions,
+                     "seconds": seconds, "qps": executions / seconds})
+    rows[1]["speedup_vs_sequential"] = rows[1]["qps"] / rows[0]["qps"]
     return rows
 
 

@@ -192,7 +192,11 @@ def _cmd_extend(args) -> int:
               file=sys.stderr)
         return 1
     out = args.out or args.artifact
-    engine = QueryEngine.open_path(args.artifact)
+    # Extension rewrites per-shard indexes, so a sharded artifact must
+    # open as a real shard session, not the merged sequential view.
+    engine = QueryEngine.open_path(
+        args.artifact,
+        strategy="scatter" if layout == "sharded" else "auto")
     try:
         before_version = engine.schema_version
         before_cells = None if engine.sharded \

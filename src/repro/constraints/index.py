@@ -249,7 +249,8 @@ class FrozenConstraintIndex(BaseConstraintIndex):
     buffers are already dropped but the entries are not yet assigned.
     """
 
-    __slots__ = ("constraint", "_entry_data", "_raw_buffers", "_decode_lock")
+    __slots__ = ("constraint", "_entry_data", "_raw_buffers", "_decode_lock",
+                 "_kernel")
 
     def __init__(self, constraint: AccessConstraint, graph: GraphView | None = None,
                  targets: Iterable[int] | None = None):
@@ -257,6 +258,10 @@ class FrozenConstraintIndex(BaseConstraintIndex):
         self._entry_data: dict[tuple[int, ...], tuple[int, ...]] | None = {}
         self._raw_buffers = None
         self._decode_lock = threading.Lock()
+        #: Lazily-built numpy probe state (packed keys + CSR payload);
+        #: see :meth:`kernel_buffers`. The index is immutable, so the
+        #: cache never invalidates.
+        self._kernel = None
         if graph is not None:
             self.build(graph, targets=targets)
 
@@ -296,6 +301,7 @@ class FrozenConstraintIndex(BaseConstraintIndex):
         self._entry_data = {key: tuple(sorted(payload))
                             for key, payload in staging.items()}
         self._raw_buffers = None
+        self._kernel = None
         return self
 
     @classmethod
@@ -364,6 +370,105 @@ class FrozenConstraintIndex(BaseConstraintIndex):
         key_iter = zip(*[iter(list(keys_flat))] * arity)
         return {key: tuple(values[starts[i]:starts[i + 1]])
                 for i, key in enumerate(key_iter)}
+
+    # -- batched (vectorized) retrieval ------------------------------------------
+    def kernel_buffers(self) -> tuple:
+        """``(packed_keys, payload_ptr, payload, arity, num_keys)`` numpy
+        probe state, built lazily and cached.
+
+        ``packed_keys`` encodes each canonical key tuple as one
+        searchsorted-comparable scalar (:func:`repro.util.arrays.
+        pack_matrix`), in the same sorted order :meth:`to_buffers` writes;
+        ``payload_ptr``/``payload`` are the CSR payload layout. A
+        warm-started index builds this directly from its raw artifact
+        buffers — zero-copy, without ever decoding the entry dict; a
+        fresh index flattens its entries once.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            # Benign race: concurrent first calls build twice, last
+            # write wins, both are correct (same immutable inputs).
+            kernel = self._build_kernel()
+            self._kernel = kernel
+        return kernel
+
+    def _build_kernel(self) -> tuple:
+        from repro.errors import ArtifactCorrupt
+        from repro.util.arrays import as_int64, pack_matrix, require_numpy
+        np = require_numpy()
+        arity = len(self.constraint.source)
+        # Take a local reference: the lazy dict decode nulls _raw_buffers
+        # after publishing _entry_data, and either source is valid.
+        raw = self._raw_buffers
+        if raw is not None:
+            keys_flat = as_int64(raw[0])
+            payload_ptr = as_int64(raw[1])
+            payload = as_int64(raw[2])
+        else:
+            entries = self._entries
+            ordered = sorted(entries)
+            keys_flat = np.fromiter(
+                (member for key in ordered for member in key),
+                dtype=np.int64, count=len(ordered) * arity)
+            lengths = np.fromiter((len(entries[key]) for key in ordered),
+                                  dtype=np.int64, count=len(ordered))
+            payload_ptr = np.zeros(len(ordered) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=payload_ptr[1:])
+            payload = np.fromiter(
+                (w for key in ordered for w in entries[key]),
+                dtype=np.int64, count=int(payload_ptr[-1]))
+        num_keys = len(payload_ptr) - 1
+        if (num_keys < 0 or (arity and len(keys_flat) != num_keys * arity)
+                or (num_keys >= 0 and (len(payload_ptr) == 0
+                                       or payload_ptr[0] != 0
+                                       or payload_ptr[-1] != len(payload)))
+                or np.any(np.diff(payload_ptr) < 0)):
+            raise ArtifactCorrupt(
+                f"index buffers for {self.constraint} have inconsistent "
+                f"shapes")
+        if arity:
+            packed = pack_matrix(keys_flat.reshape(num_keys, arity))
+            if num_keys > 1 and np.any(packed[:-1] > packed[1:]):
+                raise ArtifactCorrupt(
+                    f"index keys for {self.constraint} are not sorted")
+        else:
+            packed = keys_flat[:0]
+        return (packed, payload_ptr, payload, arity, num_keys)
+
+    def fetch_many(self, combos, packed=None) -> tuple:
+        """Batched :meth:`fetch`: probe many canonical keys in one
+        ``np.searchsorted`` call.
+
+        ``combos`` is an ``(n, arity)`` int64 matrix of canonical keys
+        (``packed`` may pass their pre-packed scalars to skip
+        re-encoding). Returns ``(starts, lengths, payload)``: combo ``i``
+        fetched ``payload[starts[i] : starts[i] + lengths[i]]``; missing
+        keys have length 0. **No access accounting happens here** — the
+        caller owns the memoized-fetch semantics (see
+        :mod:`repro.core.kernels`), unlike :meth:`fetch` which records
+        unconditionally when given stats.
+        """
+        from repro.util.arrays import pack_matrix, require_numpy
+        np = require_numpy()
+        packed_keys, payload_ptr, payload, arity, num_keys = \
+            self.kernel_buffers()
+        n = len(combos)
+        if arity == 0:
+            length = len(payload) if num_keys else 0
+            return (np.zeros(n, dtype=np.int64),
+                    np.full(n, length, dtype=np.int64), payload)
+        if num_keys == 0 or n == 0:
+            zeros = np.zeros(n, dtype=np.int64)
+            return zeros, zeros.copy(), payload
+        if packed is None:
+            packed = pack_matrix(combos)
+        positions = np.searchsorted(packed_keys, packed)
+        clipped = np.minimum(positions, num_keys - 1)
+        hits = packed_keys[clipped] == packed
+        index = np.where(hits, clipped, 0)
+        starts = payload_ptr[index]
+        lengths = np.where(hits, payload_ptr[index + 1] - starts, 0)
+        return np.where(hits, starts, 0), lengths, payload
 
 
 class SchemaIndex:

@@ -130,13 +130,16 @@ def execute_plan(plan: QueryPlan, schema_index: SchemaIndex,
     # ---- edge phase ---------------------------------------------------------------
     edges_found: set[tuple[int, int]] = set()
     edge_memo: dict[tuple, tuple[int, ...]] = {}
+    probe_memo: dict[tuple, set] = {}
     if edge_mode == MODE_PROBE:
         for edge in pattern.edges():
-            _probe_edge(edge, candidates, graph, stats, edges_found)
+            _probe_edge(edge, candidates, graph, stats, edges_found,
+                        probe_memo)
     else:
         for check in plan.edge_checks:
             if check.mode == EDGE_VIA_PROBE:
-                _probe_edge(check.edge, candidates, graph, stats, edges_found)
+                _probe_edge(check.edge, candidates, graph, stats,
+                            edges_found, probe_memo)
             elif check.mode == EDGE_VIA_INDEX:
                 _index_edge(check, candidates, schema_index, stats,
                             edges_found, edge_memo)
@@ -178,14 +181,35 @@ def _kept_nodes(candidates: dict[int, set[int]]) -> list[int]:
 
 def _probe_edge(edge: tuple[int, int], candidates: dict[int, set[int]],
                 graph, stats: AccessStats,
-                edges_found: set[tuple[int, int]]) -> None:
-    """Pairwise adjacency probes for one query edge."""
+                edges_found: set[tuple[int, int]],
+                probe_memo: dict[tuple, set] | None = None) -> None:
+    """Pairwise adjacency probes for one query edge.
+
+    ``probe_memo`` (execution-local, keyed by the two endpoint pools)
+    reuses the adjacency answers when several query edges probe the same
+    candidate-pool pair. The *accounting* is unchanged — every pair
+    still counts as an edge check, exactly like the unmemoized loop —
+    only the repeated ``has_edge`` calls are skipped.
+    """
     a, b = edge
-    for va in candidates[a]:
-        for vb in candidates[b]:
+    pool_a, pool_b = candidates[a], candidates[b]
+    key = None
+    if probe_memo is not None:
+        key = (tuple(sorted(pool_a)), tuple(sorted(pool_b)))
+        hit = probe_memo.get(key)
+        if hit is not None:
+            stats.record_edge_checks(len(pool_a) * len(pool_b))
+            edges_found |= hit
+            return
+    found: set[tuple[int, int]] = set()
+    for va in pool_a:
+        for vb in pool_b:
             stats.record_edge_checks(1)
             if graph.has_edge(va, vb):
-                edges_found.add((va, vb))
+                found.add((va, vb))
+    if key is not None:
+        probe_memo[key] = found
+    edges_found |= found
 
 
 def _edge_check_geometry(check, candidates: dict[int, set[int]]):

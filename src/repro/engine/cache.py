@@ -71,7 +71,19 @@ def pattern_fingerprint(pattern: Pattern) -> tuple[tuple, tuple[int, ...]]:
     canonical position order realizing ``key``. Two patterns with equal
     keys are isomorphic via ``order[i] <-> order[i]``, which is what lets
     the engine translate a cached plan onto a renumbered pattern.
+
+    The result is memoized on the pattern (reset by any mutation), so a
+    prepared query re-run in a loop pays canonicalization once.
     """
+    cached = pattern._fingerprint
+    if cached is not None:
+        return cached
+    result = _compute_fingerprint(pattern)
+    pattern._fingerprint = result
+    return result
+
+
+def _compute_fingerprint(pattern: Pattern) -> tuple[tuple, tuple[int, ...]]:
     colors = _refine_colors(pattern)
     classes: dict[Hashable, list[int]] = {}
     for node in sorted(pattern.nodes()):

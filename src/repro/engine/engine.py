@@ -155,6 +155,24 @@ class PreparedQuery:
         self.engine._account(run_stats, stats)
         return run
 
+    def warm(self) -> "PreparedQuery":
+        """Run the plan once through the array kernels with the
+        accounting discarded.
+
+        Populates the session-level pure-lookup caches (graph kernel
+        columns, per-constraint index kernels, fetch / predicate-mask /
+        initial-scan caches) so the first *served* execution already
+        runs at steady-state latency. The warming run records nothing:
+        the caches only ever skip probing and filtering work, never the
+        per-execution accounting. A no-op for sessions the vectorized
+        executor does not serve (sequential or scatter-gather).
+        """
+        engine = self.engine
+        if engine._executor == "vectorized" and engine._shards is None:
+            from repro.core.kernels import execute_plan_vectorized
+            execute_plan_vectorized(self.plan, engine._schema_index)
+        return self
+
     def _finish_run(self, execution: ExecutionResult) -> BoundedRun:
         """Match inside ``G_Q`` and memoize the answer."""
         if self.semantics == SUBGRAPH:
@@ -207,12 +225,24 @@ class QueryEngine:
     plan_cache:
         Share an existing :class:`PlanCache` between sessions serving the
         **same schema** (e.g. several snapshots of a growing graph).
+    executor:
+        Plan-execution strategy: ``"auto"`` (default) runs the numpy
+        array-kernel executor (:mod:`repro.core.kernels`) whenever the
+        session qualifies — numpy importable, frozen CSR snapshot,
+        frozen indexes — and the sequential executor otherwise;
+        ``"sequential"`` / ``"vectorized"`` force one of the two
+        (forcing ``"vectorized"`` on a session that cannot run it
+        raises). Answers, ``G_Q`` and access accounting are identical
+        under every strategy.
     """
+
+    #: Accepted ``executor=`` arguments.
+    EXECUTORS = ("auto", "sequential", "vectorized")
 
     def __init__(self, graph: GraphView, schema, *,
                  frozen: bool = True, validate: bool = False,
                  cache_size: int = 128, plan_cache: PlanCache | None = None,
-                 schema_index=None):
+                 schema_index=None, executor: str = "auto"):
         # ``schema`` may be a bare AccessSchema (wrapped in a fresh
         # generation-0 catalog) or a SchemaCatalog (the artifact load
         # path, preserving recorded generations).
@@ -261,20 +291,45 @@ class QueryEngine:
             self._schema_index = self._maintained.schema_index
             if validate:
                 self._schema_index.validate()
+        self._executor = self._resolve_executor(executor)
+
+    def _resolve_executor(self, executor: str) -> str:
+        """Resolve an ``executor=`` argument to a concrete strategy."""
+        from repro.core import kernels
+
+        if executor not in self.EXECUTORS:
+            raise EngineError(f"unknown executor {executor!r}; expected "
+                              f"one of {self.EXECUTORS}")
+        if executor == "sequential":
+            return "sequential"
+        capable = kernels.can_vectorize(self._schema_index)
+        if executor == "vectorized":
+            if not capable:
+                reason = "numpy is not installed" if not kernels.HAVE_NUMPY \
+                    else "the session is not frozen (vectorized kernels " \
+                         "run over CSR snapshot buffers)"
+                raise EngineError(
+                    f"executor='vectorized' is unavailable: {reason}")
+            return "vectorized"
+        return "vectorized" if capable else "sequential"
 
     @classmethod
     def open(cls, graph: GraphView, schema, *,
              frozen: bool = True, validate: bool = False,
              cache_size: int = 128,
-             plan_cache: PlanCache | None = None) -> "QueryEngine":
+             plan_cache: PlanCache | None = None,
+             executor: str = "auto") -> "QueryEngine":
         """Open a query-serving session over ``graph`` under ``schema``."""
         return cls(graph, schema, frozen=frozen, validate=validate,
-                   cache_size=cache_size, plan_cache=plan_cache)
+                   cache_size=cache_size, plan_cache=plan_cache,
+                   executor=executor)
 
     @classmethod
     def open_path(cls, path, *, frozen: bool = True, validate: bool = False,
                   cache_size: int = 128, allow_stale: bool = False,
-                  workers: int = 0, mp_context=None) -> "QueryEngine":
+                  workers: int = 0, mp_context=None,
+                  strategy: str = "auto",
+                  executor: str = "auto") -> "QueryEngine":
         """Warm-start a session from an artifact written by :meth:`save`.
 
         Skips graph load, index build, and EBChk/QPlan for every
@@ -286,19 +341,27 @@ class QueryEngine:
         mutable session that supports :meth:`apply` (and pays a mutable
         index rebuild; the plan cache stays warm either way).
 
-        A *sharded* artifact (``repro compile --shards N``) opens as a
-        scatter-gather session: ``workers=0`` (default) holds every
-        shard in this process, ``workers=N`` spawns N worker processes
-        that each warm-start their shards from the per-shard
-        sub-artifacts — close the session (or use it as a context
-        manager) to shut the pool down. ``mp_context`` overrides the
-        multiprocessing start method (``fork``/``spawn``).
+        A *sharded* artifact (``repro compile --shards N``) opens under
+        ``strategy``: ``"scatter"`` is the scatter-gather session —
+        ``workers=0`` holds every shard in this process, ``workers=N``
+        spawns N worker processes that each warm-start their shards from
+        the per-shard sub-artifacts (close the session, or use it as a
+        context manager, to shut the pool down; ``mp_context`` overrides
+        the multiprocessing start method). ``"sequential"`` merges the
+        shards back into one frozen graph + index and serves them as an
+        ordinary single-graph session — no scatter round-trips, and the
+        (vectorized) plan executors apply. ``"auto"`` (default) picks
+        ``"sequential"`` when ``workers=0`` — in-process scatter over
+        shards only adds coordination overhead — and ``"scatter"`` when
+        worker processes are requested. ``executor`` selects the plan
+        executor for unsharded/merged serving (see :class:`QueryEngine`).
         """
         from repro.engine import persist
         return persist.load_engine(path, frozen=frozen, validate=validate,
                                    cache_size=cache_size,
                                    allow_stale=allow_stale, workers=workers,
-                                   mp_context=mp_context)
+                                   mp_context=mp_context, strategy=strategy,
+                                   executor=executor)
 
     @classmethod
     def from_shards(cls, backend, schema, graph_summary, *,
@@ -324,6 +387,7 @@ class QueryEngine:
         engine._graph = graph_summary
         engine._maintained = None
         engine._schema_index = None
+        engine._executor = "sequential"  # unused: plans go through shards
         return engine
 
     def save(self, path, *, shards: int | None = None) -> dict:
@@ -398,6 +462,14 @@ class QueryEngine:
         return self._shards is not None
 
     @property
+    def executor_strategy(self) -> str:
+        """The resolved plan-execution strategy: ``"scatter"`` for
+        sharded sessions, else ``"vectorized"`` or ``"sequential"``."""
+        if self._shards is not None:
+            return "scatter"
+        return self._executor
+
+    @property
     def exec_workers(self) -> int:
         """Worker processes executing fetches (0 = in-process shards or
         an ordinary unsharded session)."""
@@ -417,9 +489,15 @@ class QueryEngine:
         return self._cache.info()
 
     # -- compilation ---------------------------------------------------------------
-    def prepare(self, pattern, semantics: str = SUBGRAPH) -> PreparedQuery:
+    def prepare(self, pattern, semantics: str = SUBGRAPH, *,
+                warm: bool = False) -> PreparedQuery:
         """Compile ``pattern`` once: EBChk + QPlan, cached by canonical
         pattern form + semantics.
+
+        ``warm=True`` additionally pre-runs the plan through the
+        vectorized kernels (see :meth:`PreparedQuery.warm`), moving the
+        one-time cache-fill cost of a query shape into preparation so
+        the first served execution is already steady-state.
 
         Raises :class:`~repro.errors.NotEffectivelyBounded` (also served
         from cache) when the query is not effectively bounded.
@@ -434,8 +512,9 @@ class QueryEngine:
         if entry is not None:
             with self._stats_lock:
                 self.stats.record_cache_hit()
-            return self._from_entry(entry, cache_key, pattern, order,
-                                    semantics)
+            prepared = self._from_entry(entry, cache_key, pattern, order,
+                                        semantics)
+            return prepared.warm() if warm else prepared
         with self._stats_lock:
             self.stats.record_cache_miss()
         # Snapshot the generation before compiling: a concurrent
@@ -455,7 +534,7 @@ class QueryEngine:
             order=order, schema=schema, version=version,
             schema_size=len(schema), plan=plan))
         self._prepared.put((cache_key, order), (plan, prepared))
-        return prepared
+        return prepared.warm() if warm else prepared
 
     def _from_entry(self, entry: _CacheEntry, cache_key, pattern,
                     order: tuple[int, ...], semantics: str) -> PreparedQuery:
@@ -667,6 +746,11 @@ class QueryEngine:
             return execute_plans_scatter(plans, self._shards,
                                          stats_list=stats_list,
                                          edge_mode=edge_mode)
+        if self._executor == "vectorized":
+            from repro.core.kernels import execute_plan_vectorized
+            return [execute_plan_vectorized(plan, self._schema_index,
+                                            stats=stats, edge_mode=edge_mode)
+                    for plan, stats in zip(plans, stats_list)]
         return [execute_plan(plan, self._schema_index, stats=stats,
                              edge_mode=edge_mode)
                 for plan, stats in zip(plans, stats_list)]

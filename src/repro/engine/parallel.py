@@ -41,14 +41,17 @@ from typing import Sequence
 
 from repro.constraints.index import FrozenConstraintIndex
 from repro.constraints.schema import AccessConstraint
+from repro.core import kernels
 from repro.core.executor import run_shard_task
 from repro.errors import EngineError
+from repro.graph.frozen import FrozenGraph
 
 
 class ShardRuntime:
     """One shard's in-memory state: halo graph, owned set, shard index."""
 
-    __slots__ = ("shard_id", "graph", "schema_index", "owned")
+    __slots__ = ("shard_id", "graph", "schema_index", "owned",
+                 "_owned_sorted")
 
     def __init__(self, shard_id: int, graph, schema_index,
                  owned: Sequence[int]):
@@ -56,8 +59,18 @@ class ShardRuntime:
         self.graph = graph
         self.schema_index = schema_index
         self.owned = frozenset(owned)
+        self._owned_sorted = None  # lazy int64 array for vectorized tasks
 
     def handle(self, task: tuple):
+        # Shard graphs are CSR snapshots, so the probe/edge tasks run on
+        # the array kernels when numpy is available; responses are
+        # identical either way (see run_shard_task_vectorized).
+        if kernels.HAVE_NUMPY and isinstance(self.graph, FrozenGraph):
+            if self._owned_sorted is None:
+                self._owned_sorted = kernels.sorted_id_array(self.owned)
+            return kernels.run_shard_task_vectorized(
+                self.graph, self.schema_index, self.owned,
+                self._owned_sorted, task)
         return run_shard_task(self.graph, self.schema_index, self.owned, task)
 
     def extension_stats(self, labels: Sequence[str]) -> tuple[dict, dict]:

@@ -551,9 +551,14 @@ def artifact_layout(path) -> str:
     return _read_manifest(Path(path)).get("layout", "single")
 
 
+#: Serving strategies for sharded artifacts (see :func:`load_engine`).
+STRATEGIES = ("auto", "sequential", "scatter")
+
+
 def load_engine(path, *, frozen: bool = True, validate: bool = False,
                 cache_size: int = 128, allow_stale: bool = False,
-                workers: int = 0, mp_context=None):
+                workers: int = 0, mp_context=None, strategy: str = "auto",
+                executor: str = "auto"):
     """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
 
     The frozen path (default) is the warm start: CSR buffers are adopted
@@ -563,26 +568,47 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
     mutable index rebuild) with the plan cache still warm — the only
     loaded flavour that supports ``apply``.
 
-    A *sharded* artifact (``repro compile --shards N``) opens as a
-    scatter-gather session instead: ``workers=0`` holds every shard
-    in-process, ``workers=N`` spawns N worker processes that each
-    warm-start their shards from the per-shard sub-artifacts (see
-    :mod:`repro.engine.parallel`). ``workers`` is rejected for
-    single-layout artifacts rather than silently ignored.
+    A *sharded* artifact (``repro compile --shards N``) opens under
+    ``strategy``:
+
+    * ``"scatter"`` — the scatter-gather session: ``workers=0`` holds
+      every shard in-process, ``workers=N`` spawns N worker processes
+      that each warm-start their shards from the per-shard sub-artifacts
+      (see :mod:`repro.engine.parallel`).
+    * ``"sequential"`` — merge the shards back into one frozen graph +
+      schema index (:func:`repro.graph.partition.merge_shard_runtimes`)
+      and serve an ordinary single-graph session; the (vectorized) plan
+      executors apply. Incompatible with ``workers``.
+    * ``"auto"`` (default) — ``"sequential"`` when ``workers=0`` (an
+      in-process scatter over shards only adds coordination overhead on
+      one CPU) and ``"scatter"`` when worker processes are requested.
+
+    ``executor`` picks the plan executor for unsharded or merged serving
+    (see :class:`~repro.engine.engine.QueryEngine`). ``workers`` and
+    ``strategy="scatter"`` are rejected for single-layout artifacts
+    rather than silently ignored.
     """
     from repro.engine.engine import QueryEngine
 
+    if strategy not in STRATEGIES:
+        raise EngineError(f"unknown strategy {strategy!r}; expected one "
+                          f"of {STRATEGIES}")
     path = Path(path)
     manifest = _read_manifest(path)
     if manifest.get("layout") == "sharded":
         return _load_sharded_engine(path, manifest, validate=validate,
                                     cache_size=cache_size, workers=workers,
                                     mp_context=mp_context, frozen=frozen,
-                                    allow_stale=allow_stale)
+                                    allow_stale=allow_stale,
+                                    strategy=strategy, executor=executor)
     if workers:
         raise EngineError(
             f"artifact at {path} is not sharded; open it without workers, "
             f"or re-compile with `repro compile --shards N`")
+    if strategy == "scatter":
+        raise EngineError(
+            f"artifact at {path} is not sharded; strategy='scatter' needs "
+            f"a sharded artifact (repro compile --shards N)")
     stale = stale_info(path)
     if stale is not None and not allow_stale:
         raise ArtifactStale(
@@ -607,11 +633,11 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
         schema_index = SchemaIndex.from_prebuilt(graph, schema, indexes)
         engine = QueryEngine(graph, catalog, frozen=True, validate=validate,
                              cache_size=cache_size, plan_cache=plan_cache,
-                             schema_index=schema_index)
+                             schema_index=schema_index, executor=executor)
     else:
         engine = QueryEngine(graph.thaw(), catalog, frozen=False,
                              validate=validate, cache_size=cache_size,
-                             plan_cache=plan_cache)
+                             plan_cache=plan_cache, executor=executor)
 
     engine.artifact_path = path
     return engine
@@ -910,10 +936,11 @@ def load_shard_runtimes(path, shard_ids) -> list:
 
 def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                          cache_size: int, workers: int, mp_context,
-                         frozen: bool, allow_stale: bool = False):
+                         frozen: bool, allow_stale: bool = False,
+                         strategy: str = "auto", executor: str = "auto"):
     from repro.engine.engine import QueryEngine
     from repro.engine.parallel import InlineShardBackend, ProcessShardBackend
-    from repro.graph.partition import GraphSummary
+    from repro.graph.partition import GraphSummary, merge_shard_runtimes
 
     # Same staleness contract as the single layout: a sharded artifact
     # saved by a mutable session and then diverged via apply() must
@@ -928,11 +955,21 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
         raise EngineError(
             "sharded artifacts open frozen only; incremental updates go "
             "through re-compile (repro compile --shards) + hot reload")
-    if validate:
+    if strategy == "auto":
+        # One process means in-process scatter only adds coordination
+        # overhead; merge the shards back and serve the (vectorized)
+        # sequential executors. Worker processes mean real parallelism.
+        strategy = "scatter" if workers else "sequential"
+    if strategy == "sequential" and workers:
         raise EngineError(
-            "validate=True is not supported for sharded artifacts: "
+            "strategy='sequential' serves the merged graph in-process; "
+            "it is incompatible with workers — drop workers or use "
+            "strategy='scatter'")
+    if validate and strategy == "scatter":
+        raise EngineError(
+            "validate=True is not supported for scatter-gather serving: "
             "cardinality bounds are a property of the merged index; "
-            "validate before compiling instead")
+            "open with strategy='sequential' or validate before compiling")
     shard_meta = manifest.get("shards")
     if not isinstance(shard_meta, list) or not shard_meta:
         raise ArtifactCorrupt(
@@ -965,6 +1002,17 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                 path=str(path / CATALOG_FILE)) from exc
     catalog = _decode_catalog(path, manifest, schema, catalog_payload)
     plan_cache = _decode_plan_cache(path, plans_payload, schema, cache_size)
+
+    if strategy == "sequential":
+        runtimes = load_shard_runtimes(path, range(num_shards))
+        merged_graph, merged_index = merge_shard_runtimes(runtimes,
+                                                          catalog.current)
+        engine = QueryEngine(merged_graph, catalog, frozen=True,
+                             validate=validate, cache_size=cache_size,
+                             plan_cache=plan_cache,
+                             schema_index=merged_index, executor=executor)
+        engine.artifact_path = path
+        return engine
 
     if workers:
         backend = ProcessShardBackend(path, range(num_shards), schema,

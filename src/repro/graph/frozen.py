@@ -36,7 +36,7 @@ class FrozenGraph(GraphView):
     """
 
     __slots__ = ("_ids", "_pos", "_labels", "_values", "_out_ptr", "_out_dst",
-                 "_in_ptr", "_in_src", "_by_label", "_num_edges")
+                 "_in_ptr", "_in_src", "_by_label", "_num_edges", "_kernel")
 
     def __init__(self, ids, pos, labels, values, out_ptr, out_dst,
                  in_ptr, in_src, by_label, num_edges):
@@ -50,6 +50,9 @@ class FrozenGraph(GraphView):
         self._in_src = in_src
         self._by_label = by_label    # label -> tuple of node ids
         self._num_edges = num_edges
+        #: Lazily-built per-graph kernel state (repro.core.kernels); the
+        #: snapshot is immutable, so the cache never invalidates.
+        self._kernel = None
 
     @classmethod
     def from_graph(cls, graph: GraphView) -> "FrozenGraph":
@@ -134,6 +137,22 @@ class FrozenGraph(GraphView):
         frozen_by_label = {label: tuple(vs) for label, vs in by_label.items()}
         return cls(ids, pos, labels, values, out_ptr, out_dst,
                    in_ptr, in_src, frozen_by_label, len(out_dst))
+
+    def int64_views(self) -> dict:
+        """Zero-copy numpy int64 views over the CSR buffers.
+
+        Works for both fresh snapshots (``array('q')`` storage) and
+        artifact warm-starts (memoryviews over the loaded blob) — either
+        way ``np.frombuffer`` aliases the existing bytes, nothing is
+        copied. The views alias immutable storage: treat as read-only.
+        """
+        from repro.util.arrays import as_int64, require_numpy
+        require_numpy()
+        return {"ids": as_int64(self._ids),
+                "out_ptr": as_int64(self._out_ptr),
+                "out_dst": as_int64(self._out_dst),
+                "in_ptr": as_int64(self._in_ptr),
+                "in_src": as_int64(self._in_src)}
 
     # -- read interface ---------------------------------------------------------
     def nodes(self) -> Iterable[int]:

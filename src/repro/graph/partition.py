@@ -252,6 +252,50 @@ def build_shard_indexes(partition: GraphPartition, schema) -> list:
     return shard_indexes
 
 
+def merge_shard_runtimes(runtimes, schema):
+    """Fold loaded shard runtimes back into one frozen graph + index.
+
+    The inverse of sharding, used to serve a sharded artifact as an
+    ordinary single-graph session (``open_path(..., strategy=
+    "sequential")``): on one CPU, in-process scatter over shards only
+    adds coordination overhead, and merging back unlocks the (much
+    faster) sequential/vectorized plan executors.
+
+    Correctness rests on the partition invariants: the exact cover means
+    every node and every directed edge is owned by exactly one shard, so
+    collecting owned nodes and owned out-edges reconstructs the source
+    graph exactly; and each per-shard index enumerates owned targets
+    only, so the dict-union of the shard entries per key is the global
+    index entry. Returns ``(FrozenGraph, SchemaIndex)``.
+    """
+    from repro.constraints.index import FrozenConstraintIndex, SchemaIndex
+
+    builder = Graph()
+    for runtime in runtimes:
+        graph = runtime.graph
+        for v in sorted(runtime.owned):
+            builder.add_node(graph.label_of(v), value=graph.value_of(v),
+                             node_id=v)
+    for runtime in runtimes:
+        graph = runtime.graph
+        for v in sorted(runtime.owned):
+            for w in graph.out_neighbors(v):
+                builder.add_edge(v, w)
+    merged_graph = FrozenGraph.from_graph(builder)
+
+    indexes = {}
+    for constraint in schema:
+        entries: dict[tuple, list] = {}
+        for runtime in runtimes:
+            index = runtime.schema_index.index_for(constraint)
+            for key in index.keys():
+                entries.setdefault(tuple(key), []).extend(index.fetch(key))
+        indexes[constraint] = FrozenConstraintIndex.from_entries(
+            constraint, entries)
+    return merged_graph, SchemaIndex.from_prebuilt(merged_graph, schema,
+                                                   indexes)
+
+
 def cross_edge_count(graph: GraphView, assignment: dict[int, int]) -> int:
     """Directed edges whose endpoints are owned by different shards."""
     return sum(1 for v, w in graph.edges() if assignment[v] != assignment[w])
@@ -264,5 +308,6 @@ __all__ = [
     "assign_nodes",
     "build_shard_indexes",
     "cross_edge_count",
+    "merge_shard_runtimes",
     "partition_graph",
 ]

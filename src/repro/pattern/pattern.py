@@ -37,7 +37,8 @@ class Pattern:
     (6, 6)
     """
 
-    __slots__ = ("_labels", "_predicates", "_out", "_in", "_next_id", "name")
+    __slots__ = ("_labels", "_predicates", "_out", "_in", "_next_id", "name",
+                 "_fingerprint")
 
     def __init__(self, name: str = ""):
         self._labels: dict[int, str] = {}
@@ -46,6 +47,9 @@ class Pattern:
         self._in: dict[int, set[int]] = {}
         self._next_id = 0
         self.name = name
+        #: Cached canonical fingerprint (repro.engine.cache); any
+        #: structural mutation resets it to None.
+        self._fingerprint = None
 
     # -- construction --------------------------------------------------------
     def add_node(self, label: str, predicate: Predicate = TRUE,
@@ -64,6 +68,7 @@ class Pattern:
         self._predicates[node_id] = predicate
         self._out[node_id] = set()
         self._in[node_id] = set()
+        self._fingerprint = None
         return node_id
 
     def add_edge(self, source: int, target: int) -> None:
@@ -76,11 +81,13 @@ class Pattern:
             raise PatternError(f"pattern edge ({source}, {target}) already exists")
         self._out[source].add(target)
         self._in[target].add(source)
+        self._fingerprint = None
 
     def set_predicate(self, node: int, predicate: Predicate) -> None:
         if node not in self._labels:
             raise PatternError(f"unknown pattern node {node}")
         self._predicates[node] = predicate
+        self._fingerprint = None
 
     # -- read interface -------------------------------------------------------
     def nodes(self) -> Iterable[int]:
@@ -201,6 +208,7 @@ class Pattern:
         clone._out = {v: set(s) for v, s in self._out.items()}
         clone._in = {v: set(s) for v, s in self._in.items()}
         clone._next_id = self._next_id
+        clone._fingerprint = self._fingerprint
         return clone
 
     def reversed_edges(self, edges: Iterable[tuple[int, int]]) -> "Pattern":

@@ -1,0 +1,109 @@
+"""Zero-copy int64 views and sorted-array set primitives (numpy).
+
+Every vectorized code path in the library funnels through this module:
+it owns the *optional* numpy dependency (:data:`HAVE_NUMPY`), the
+zero-copy adaptation of ``array('q')``/memoryview buffers into int64
+ndarrays, and the packed-row encoding that turns fixed-arity int64 key
+tuples into scalars whose memcmp order equals signed lexicographic tuple
+order — which is what lets one ``np.searchsorted`` probe a multi-column
+key table sorted by ``sorted(entries)``.
+
+The library must import (and the sequential executor must run) without
+numpy installed, so ``import numpy`` is guarded here and nowhere else;
+callers gate on :data:`HAVE_NUMPY` or call :func:`require_numpy` for a
+loud, actionable error.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+#: True when numpy is importable; the vectorized executor, the kernel
+#: caches, and the CSR membership tests all gate on this.
+HAVE_NUMPY = np is not None
+
+#: XOR-ing the sign bit makes big-endian byte order agree with signed
+#: int64 order, so packed rows compare correctly via memcmp.
+_SIGN_BIT = np.int64(-2**63) if HAVE_NUMPY else None
+
+
+def require_numpy():
+    """Return the numpy module or raise a loud, actionable error."""
+    if np is None:
+        raise RuntimeError(
+            "numpy is required for vectorized execution but is not "
+            "installed; install numpy or use executor='sequential'")
+    return np
+
+
+def as_int64(buffer):
+    """Zero-copy int64 ndarray over an ``array('q')``, a memoryview cast
+    to ``'q'`` (the artifact warm-start path), or an existing ndarray.
+
+    The returned array aliases the source storage — treat it as
+    read-only, exactly like the frozen buffers it views.
+    """
+    if isinstance(buffer, np.ndarray):
+        return buffer if buffer.dtype == np.int64 \
+            else buffer.astype(np.int64)
+    if len(buffer) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(buffer, dtype=np.int64)
+
+
+def pack_matrix(rows):
+    """Encode an ``(n, k)`` int64 matrix as ``n`` comparable scalars.
+
+    ``k == 1`` returns the column itself; ``k > 1`` returns fixed-width
+    byte strings (sign-flipped big-endian rows) whose memcmp order equals
+    signed lexicographic row order. Sorting / searchsorted over the
+    result therefore agrees with Python's tuple order — the order
+    ``FrozenConstraintIndex.to_buffers`` writes its keys in.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    if rows.ndim != 2:
+        raise ValueError(f"pack_matrix expects a 2-d matrix, got shape "
+                         f"{rows.shape}")
+    n, k = rows.shape
+    if k == 1:
+        return np.ascontiguousarray(rows[:, 0])
+    flipped = np.ascontiguousarray((rows ^ _SIGN_BIT).astype(">i8"))
+    return flipped.view(f"S{8 * k}").reshape(n)
+
+
+def in_sorted(haystack, needles):
+    """Boolean membership mask of ``needles`` in the *sorted* array
+    ``haystack`` (any dtype searchsorted supports, including the byte
+    strings :func:`pack_matrix` produces)."""
+    if len(haystack) == 0:
+        return np.zeros(len(needles), dtype=bool)
+    positions = np.searchsorted(haystack, needles)
+    np.minimum(positions, len(haystack) - 1, out=positions)
+    return haystack[positions] == needles
+
+
+def take_segments(data, starts, lengths):
+    """Gather ragged segments ``data[starts[i] : starts[i]+lengths[i]]``
+    concatenated into one array (CSR payload gather without a Python
+    loop)."""
+    total = int(lengths.sum())
+    if total == 0:
+        return data[:0]
+    out_offsets = np.cumsum(lengths) - lengths
+    index = (np.arange(total, dtype=np.int64)
+             - np.repeat(out_offsets, lengths)
+             + np.repeat(starts, lengths))
+    return data[index]
+
+
+__all__ = [
+    "HAVE_NUMPY",
+    "as_int64",
+    "in_sorted",
+    "pack_matrix",
+    "require_numpy",
+    "take_segments",
+]

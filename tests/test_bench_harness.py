@@ -191,6 +191,10 @@ class TestCheckRegressionShardMetrics:
                 ("engine_throughput",
                  [{"mode": "prepared", "qps": 1.0},
                   {"mode": "batched", "qps": 1.0}]),
+                ("kernels",
+                 [{"mode": "sequential", "qps": 1.0},
+                  {"mode": "vectorized", "qps": 1.0,
+                   "speedup_vs_sequential": 1.0}]),
                 ("warm_start",
                  [{"mode": "warm_open", "open_speedup": 1.0},
                   {"mode": "prepared_reuse", "prepare_speedup": 1.0}]),

@@ -153,7 +153,8 @@ class TestShardedExtension:
         imdb_engine.extend_schema(plan_ref.added)
         expected = canonical_answer(SUBGRAPH, imdb_engine.query(q).answer)
 
-        sharded = QueryEngine.open_path(sharded_artifact)
+        sharded = QueryEngine.open_path(sharded_artifact,
+                                        strategy="scatter")
         plan = plan_extension(sharded, [q])
         assert plan.m == plan_ref.m and plan.added == plan_ref.added
         report = sharded.extend_schema(plan.added)
@@ -165,8 +166,9 @@ class TestShardedExtension:
 
     def test_stats_merge_equals_global(self, sharded_artifact, imdb_engine):
         labels = {"actor", "country", "movie", "year"}
-        merged = workload_stats(QueryEngine.open_path(sharded_artifact),
-                                labels)
+        merged = workload_stats(
+            QueryEngine.open_path(sharded_artifact, strategy="scatter"),
+            labels)
         direct = workload_stats(imdb_engine, labels)
         assert merged.label_counts == direct.label_counts
         assert merged.neighbor_bounds == direct.neighbor_bounds
@@ -187,7 +189,8 @@ class TestShardedExtension:
 
     def test_extended_artifact_roundtrip(self, sharded_artifact, tmp_path):
         q = parse_pattern(UNBOUNDED)
-        sharded = QueryEngine.open_path(sharded_artifact)
+        sharded = QueryEngine.open_path(sharded_artifact,
+                                        strategy="scatter")
         plan = plan_extension(sharded, [q])
         sharded.extend_schema(plan.added, provenance={"origin": "t",
                                                       "m": plan.m})
@@ -204,7 +207,8 @@ class TestShardedExtension:
 
     def test_extend_in_place(self, sharded_artifact):
         q = parse_pattern(UNBOUNDED)
-        sharded = QueryEngine.open_path(sharded_artifact)
+        sharded = QueryEngine.open_path(sharded_artifact,
+                                        strategy="scatter")
         plan = plan_extension(sharded, [q])
         sharded.extend_schema(plan.added)
         save_extended_sharded(sharded, sharded_artifact, sharded_artifact)
@@ -462,7 +466,7 @@ def test_extended_sharded_artifact_detects_corruption(tmp_path_factory,
     schema = discover_schema(graph, type1_max=3, unit_max=2)
     engine = QueryEngine.open(graph, AccessSchema(list(schema)))
     engine.save(tmp_path / "art", shards=2)
-    sharded = QueryEngine.open_path(tmp_path / "art")
+    sharded = QueryEngine.open_path(tmp_path / "art", strategy="scatter")
     generator = PatternGenerator.from_graph(graph,
                                             rng=random.Random(seed + 1))
     queries = [generator.generate(num_nodes=2) for _ in range(3)]

@@ -91,13 +91,15 @@ class TestShardedRoundTrip:
     def test_warm_open_identical_answers_both_semantics(
             self, sharded_artifact, sequential_engine, workload):
         expected = reference_answers(sequential_engine, workload)
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             assert engine.sharded and engine.exec_workers == 0
             assert reference_answers(engine, workload) == expected
 
     def test_plan_cache_rehydrated(self, sharded_artifact, workload):
         sub, _ = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             engine.prepare(sub[0], SUBGRAPH)
             assert engine.stats.plan_cache_hits == 1
             assert engine.stats.plan_cache_misses == 0
@@ -105,7 +107,8 @@ class TestShardedRoundTrip:
     def test_access_accounting_matches_sequential(
             self, sharded_artifact, sequential_engine, workload):
         sub, sim = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             for semantics, queries in ((SUBGRAPH, sub), (SIMULATION, sim)):
                 for q in queries:
                     seq_stats, shard_stats = AccessStats(), AccessStats()
@@ -122,7 +125,8 @@ class TestShardedRoundTrip:
         expected = [canonical_answer(SUBGRAPH, run.answer)
                     for run in sequential_engine.query_batch(
                         batch, SUBGRAPH, stats=AccessStats())]
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             stats = AccessStats()
             runs = engine.query_batch(batch, SUBGRAPH, stats=stats)
             assert [canonical_answer(SUBGRAPH, run.answer)
@@ -133,7 +137,8 @@ class TestShardedRoundTrip:
     def test_answer_memo_reused_without_stats(self, sharded_artifact,
                                               workload):
         sub, _ = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             first = engine.query(sub[0])
             assert engine.query(sub[0]) is first
 
@@ -167,13 +172,15 @@ class TestShardedSessionGuards:
             QueryEngine.open_path(path, workers=2)
 
     def test_no_schema_index(self, sharded_artifact):
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             with pytest.raises(EngineError, match="sharded session"):
                 engine.schema_index
 
     def test_no_save_no_apply_no_thaw(self, sharded_artifact):
         from repro.graph.delta import GraphDelta
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             with pytest.raises(EngineError):
                 engine.save(sharded_artifact)
             with pytest.raises(EngineError):
@@ -181,11 +188,73 @@ class TestShardedSessionGuards:
         with pytest.raises(EngineError, match="frozen only"):
             QueryEngine.open_path(sharded_artifact, frozen=False)
         with pytest.raises(EngineError, match="validate"):
-            QueryEngine.open_path(sharded_artifact, validate=True)
+            QueryEngine.open_path(sharded_artifact, validate=True,
+                                  strategy="scatter")
 
     def test_zero_shards_save_is_single(self, tmp_path, sequential_engine):
         manifest = sequential_engine.save(tmp_path / "art", shards=0)
         assert manifest["layout"] == "single"
+
+
+class TestMergedSequentialStrategy:
+    """Satellite: ``workers=0`` on a sharded artifact now serves the
+    merged sequential view (strategy="auto") — in-process scatter on one
+    CPU only paid coordination overhead."""
+
+    def test_auto_resolves_to_merged_sequential(self, sharded_artifact,
+                                                sequential_engine,
+                                                workload):
+        expected = reference_answers(sequential_engine, workload)
+        with QueryEngine.open_path(sharded_artifact) as engine:
+            assert engine.sharded is False
+            assert engine.executor_strategy in ("vectorized", "sequential")
+            assert engine.graph.num_nodes \
+                == sequential_engine.graph.num_nodes
+            assert engine.graph.num_edges \
+                == sequential_engine.graph.num_edges
+            assert reference_answers(engine, workload) == expected
+
+    def test_merged_accounting_matches_sequential(
+            self, sharded_artifact, sequential_engine, workload):
+        sub, sim = workload
+        with QueryEngine.open_path(sharded_artifact) as engine:
+            for semantics, queries in ((SUBGRAPH, sub), (SIMULATION, sim)):
+                for q in queries:
+                    seq_stats, merged_stats = AccessStats(), AccessStats()
+                    sequential_engine.query(q, semantics, stats=seq_stats,
+                                            refresh=True)
+                    engine.query(q, semantics, stats=merged_stats,
+                                 refresh=True)
+                    assert merged_stats.as_dict() == seq_stats.as_dict()
+
+    def test_merged_plan_cache_rehydrated(self, sharded_artifact, workload):
+        sub, _ = workload
+        with QueryEngine.open_path(sharded_artifact) as engine:
+            engine.prepare(sub[0], SUBGRAPH)
+            assert engine.stats.plan_cache_hits == 1
+            assert engine.stats.plan_cache_misses == 0
+
+    def test_sequential_strategy_incompatible_with_workers(
+            self, sharded_artifact):
+        with pytest.raises(EngineError, match="incompatible with workers"):
+            QueryEngine.open_path(sharded_artifact, strategy="sequential",
+                                  workers=1)
+
+    def test_unknown_strategy_rejected(self, sharded_artifact):
+        with pytest.raises(EngineError, match="unknown strategy"):
+            QueryEngine.open_path(sharded_artifact, strategy="bogus")
+
+    def test_scatter_strategy_rejected_for_single_layout(
+            self, tmp_path, sequential_engine):
+        path = tmp_path / "single"
+        sequential_engine.save(path)
+        with pytest.raises(EngineError, match="not sharded"):
+            QueryEngine.open_path(path, strategy="scatter")
+
+    def test_validate_allowed_on_merged_view(self, sharded_artifact):
+        # The merged index is the global index, so cardinality bounds
+        # are checkable — unlike the scatter path, which still rejects.
+        QueryEngine.open_path(sharded_artifact, validate=True).close()
 
 
 class TestCorruptionDetection:
@@ -321,7 +390,8 @@ class TestDeterminism:
     def test_subgraph_answers_byte_identical(self, sharded_artifact,
                                              sequential_engine, workload):
         sub, _ = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             for q in sub:
                 seq = sequential_engine.query(q, SUBGRAPH,
                                               stats=AccessStats())
@@ -333,7 +403,8 @@ class TestDeterminism:
     def test_simulation_pairs_byte_identical(self, sharded_artifact,
                                              sequential_engine, workload):
         _, sim = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             for q in sim:
                 seq = sequential_engine.query(q, SIMULATION,
                                               stats=AccessStats())
@@ -461,7 +532,8 @@ class TestServeSharded:
         from repro.server import QueryService
 
         sub, _ = workload
-        with QueryEngine.open_path(sharded_artifact) as engine:
+        with QueryEngine.open_path(sharded_artifact,
+                                   strategy="scatter") as engine:
             service = QueryService(engine, max_cost=0.5)
             with pytest.raises(AdmissionRejected):
                 service.admit(sub[0], SUBGRAPH)
