@@ -2,8 +2,8 @@
 
 Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``,
 ``benchmarks/bench_kernels.py``, ``benchmarks/bench_warm_start.py``,
-``benchmarks/bench_serve.py``, ``benchmarks/bench_shard.py`` and
-``benchmarks/bench_extension.py``
+``benchmarks/bench_serve.py``, ``benchmarks/bench_shard.py``,
+``benchmarks/bench_remote.py`` and ``benchmarks/bench_extension.py``
 (under ``.benchmarks/``) against the committed floors in
 ``benchmarks/baselines.json`` and exits non-zero when any metric drops
 more than ``TOLERANCE`` below its baseline.
@@ -59,6 +59,9 @@ def current_metrics(results_dir: Path) -> dict:
     serve = _load(results_dir / "serve.json")
     serve_by_mode = {row["mode"]: row for row in serve["rows"]}
     shard = _load(results_dir / "shard.json")
+    remote = _load(results_dir / "remote.json")
+    remote_rows = remote.get("rows", [])
+    remote_by_mode = {row["mode"]: row for row in remote_rows}
     extension = _load(results_dir / "extension.json")
     extension_rows = extension.get("rows", [])
     shard_rows = [row for row in shard["rows"] if row["mode"] == "sharded"]
@@ -101,6 +104,17 @@ def current_metrics(results_dir: Path) -> dict:
             "speedup_4w": speedup_4w if shard_rows else None,
             "inline_qps": (shard_by_workers[0]["qps"]
                            if 0 in shard_by_workers else None),
+        },
+        # The remote gate is machine-independent: answer identity over
+        # the wire and the owner-routing message reduction (a count
+        # ratio, not wall-clock — loopback qps carries no signal).
+        "remote": {
+            "answers_identical": (float(all(row["answers_identical"]
+                                            for row in remote_rows))
+                                  if remote_rows else None),
+            "scatter_reduction":
+                (remote_by_mode["remote_routed"]["scatter_reduction"]
+                 if "remote_routed" in remote_by_mode else None),
         },
         # The extension gate reads the minimum-M row: rescue totality
         # and rescued throughput at the tightest workable budget.

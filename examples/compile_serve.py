@@ -23,7 +23,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import QueryEngine
+from repro import connect
 from repro.engine import inspect_artifact, render_inspection
 from repro.graph.generators import imdb_like
 from repro.pattern import parse_pattern
@@ -39,7 +39,7 @@ def compile_artifact(path: Path) -> None:
     """The pay-once role: snapshot + index build + plan compilation."""
     graph, schema = imdb_like(scale=0.05, seed=7)
     start = time.perf_counter()
-    engine = QueryEngine.open(graph, schema)
+    engine = connect((graph, schema))
     for name, text in WORKLOAD.items():
         engine.prepare(parse_pattern(text, name=name))
     build_seconds = time.perf_counter() - start
@@ -52,7 +52,7 @@ def compile_artifact(path: Path) -> None:
 def serve_from_artifact(path: Path) -> None:
     """The serve-many role: warm start, then answer queries."""
     start = time.perf_counter()
-    engine = QueryEngine.open_path(path)
+    engine = connect(path)
     open_seconds = time.perf_counter() - start
     print(f"warm open in {1000 * open_seconds:.2f} ms "
           f"(skips graph load, index build, and planning)")

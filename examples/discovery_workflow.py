@@ -17,7 +17,7 @@ Run:  python examples/discovery_workflow.py
 
 import random
 
-from repro import GraphDelta, QueryEngine, ebchk
+from repro import GraphDelta, connect, ebchk
 from repro.constraints.discovery import discover_schema
 from repro.core.incremental import IncrementalEvaluator
 from repro.graph.generators import imdb_like
@@ -47,7 +47,7 @@ def main() -> None:
     print(f"\ndiscovered schema: {len(schema)} constraints, e.g.:")
     for constraint in list(schema)[:6]:
         print(f"  {constraint}")
-    engine = QueryEngine.open(graph, schema)
+    engine = connect((graph, schema))
     assert engine.schema_index.satisfied(), "discovered bounds always hold"
 
     # 3. How much of a random workload does it make bounded?

@@ -17,7 +17,8 @@ Run with ``PYTHONPATH=src python examples/extend_rescue.py``.
 """
 
 from repro.constraints.schema import AccessSchema
-from repro.engine import QueryEngine, plan_extension
+from repro import connect
+from repro.engine import plan_extension
 from repro.errors import NotEffectivelyBounded
 from repro.graph.generators import imdb_like
 from repro.pattern import parse_pattern
@@ -28,7 +29,7 @@ UNBOUNDED = "a: actor; c: country; a -> c"
 
 def engine_level() -> None:
     graph, schema = imdb_like(scale=0.02, seed=7)
-    engine = QueryEngine.open(graph, AccessSchema(list(schema)))
+    engine = connect((graph, AccessSchema(list(schema))))
     query = parse_pattern(UNBOUNDED, name="lone-actor")
 
     try:
@@ -52,7 +53,7 @@ def engine_level() -> None:
 
 def server_level() -> None:
     graph, schema = imdb_like(scale=0.02, seed=7)
-    engine = QueryEngine.open(graph, AccessSchema(list(schema)))
+    engine = connect((graph, AccessSchema(list(schema))))
     service = QueryService(engine, workers=2, extend_budget=10 ** 6)
     with ServerThread(service) as handle:
         with ServeClient(handle.host, handle.port) as client:

@@ -14,7 +14,7 @@ only" claim.
 Run:  python examples/imdb_case_study.py
 """
 
-from repro import AccessSchema, AccessStats, PlanCache, QueryEngine
+from repro import AccessSchema, AccessStats, PlanCache, connect
 from repro.graph.generators import imdb_like
 from repro.pattern import parse_pattern
 
@@ -36,7 +36,7 @@ def main() -> None:
         print(f"  {constraint}")
 
     plan_cache = PlanCache()
-    engine = QueryEngine.open(graph, a0, plan_cache=plan_cache)
+    engine = connect((graph, a0), plan_cache=plan_cache)
     query = parse_pattern(Q0, name="Q0")
     prepared = engine.prepare(query)
     plan = prepared.plan
@@ -69,7 +69,7 @@ def main() -> None:
     # Demonstrate scale independence: double the graph, same access bound.
     # The second session shares the plan cache, so Q0 is not re-planned.
     bigger, _ = imdb_like(scale=0.1, seed=1)
-    big_engine = QueryEngine.open(bigger, a0, plan_cache=plan_cache)
+    big_engine = connect((bigger, a0), plan_cache=plan_cache)
     stats_big = AccessStats()
     big_engine.query(query, stats=stats_big)
     print(f"  on a graph of size {bigger.size} (vs {graph.size}): "

@@ -14,7 +14,7 @@ Run:  python examples/instance_bounded_workload.py
 
 import random
 
-from repro import AccessSchema, QueryEngine, ebchk
+from repro import AccessSchema, connect, ebchk
 from repro.core.instance import (
     find_min_m,
     greedy_minimum_extension,
@@ -63,7 +63,7 @@ def main() -> None:
     # extended schema (snapshot + index build + plan compile, once).
     extended = AccessSchema(weak)
     extended.extend(greedy)
-    engine = QueryEngine.open(graph, extended)
+    engine = connect((graph, extended))
     target = next(q for q in workload
                   if not ebchk(q, weak).bounded and ebchk(q, extended).bounded)
     run = engine.query(target)

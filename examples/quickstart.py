@@ -11,7 +11,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import QueryEngine, ebchk, find_matches
+from repro import connect, ebchk, find_matches
 from repro.graph.generators import imdb_like
 from repro.pattern import parse_pattern
 
@@ -23,7 +23,7 @@ def main() -> None:
     print(f"access schema: {len(schema)} constraints, |A| = {schema.total_length}")
 
     # One session: snapshot + index build happen here, once.
-    engine = QueryEngine.open(graph, schema)
+    engine = connect((graph, schema))
 
     # "Find actor/actress pairs from the same country who co-starred in an
     #  award-winning film released 2011-2013" — the paper's Q0 (Fig. 1).

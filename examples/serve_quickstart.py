@@ -28,7 +28,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import QueryEngine
+from repro import connect
 from repro.errors import AdmissionRejected
 from repro.pattern import parse_pattern
 from repro.server import QueryService, ServeClient, ServerThread
@@ -51,7 +51,7 @@ def main() -> None:
 
         # 1. Compile: pay snapshot + index build + planning once.
         graph, schema = imdb_like(scale=0.02, seed=7)
-        compiler = QueryEngine.open(graph, schema)
+        compiler = connect((graph, schema))
         for text in WORKLOAD.values():
             compiler.prepare(parse_pattern(text))
         compiler.save(artifact)
@@ -62,7 +62,7 @@ def main() -> None:
               f"budget = {budget:g} (the workload's own worst bound)\n")
 
         # 2. Serve: warm-start from the artifact, enforce the budget.
-        service = QueryService(QueryEngine.open_path(artifact),
+        service = QueryService(connect(artifact),
                                max_cost=budget, workers=2)
         with ServerThread(service) as handle:
             print(f"serving on {handle.host}:{handle.port}\n")

@@ -21,7 +21,8 @@ import time
 from repro.accounting import AccessStats
 from repro.bench.datasets import get_dataset, get_workload
 from repro.core.ebchk import is_effectively_bounded
-from repro.engine import QueryEngine, inspect_artifact, render_inspection
+from repro import connect
+from repro.engine import inspect_artifact, render_inspection
 from repro.matching.bounded import canonical_answer
 
 SCALE = 0.02
@@ -38,7 +39,7 @@ def main() -> None:
     workload = workload[:DISTINCT]
     print(f"graph: {graph!r}, workload: {len(workload)} bounded patterns")
 
-    sequential = QueryEngine.open(graph, schema)
+    sequential = connect((graph, schema))
     for query in workload:
         sequential.prepare(query)
     reference = [canonical_answer("subgraph",
@@ -53,7 +54,7 @@ def main() -> None:
         print(render_inspection(inspect_artifact(artifact)))
 
         for workers in (0, 2):
-            with QueryEngine.open_path(artifact, workers=workers) as engine:
+            with connect(artifact, workers=workers) as engine:
                 answers = [canonical_answer("subgraph",
                                             engine.query(q).answer)
                            for q in workload]

@@ -20,7 +20,7 @@ from repro import (
     Graph,
     Pattern,
     PlanCache,
-    QueryEngine,
+    connect,
     sebchk,
     simulate,
 )
@@ -70,7 +70,7 @@ def main() -> None:
 
     # One plan cache for every cycle size — sQPlan runs once.
     plan_cache = PlanCache()
-    engine = QueryEngine.open(build_g1(2), schema, plan_cache=plan_cache)
+    engine = connect((build_g1(2), schema), plan_cache=plan_cache)
     plan = engine.prepare(q2, SIMULATION).plan
     print(f"\n{plan.describe()}\n")
 
@@ -80,7 +80,7 @@ def main() -> None:
           f"{'answer':>7}")
     for n in (5, 50, 500):
         g1 = build_g1(n)
-        session = QueryEngine.open(g1, schema, plan_cache=plan_cache)
+        session = connect((g1, schema), plan_cache=plan_cache)
         stats = AccessStats()
         run = session.query(q2, SIMULATION, stats=stats)
         direct = simulate(q2, g1)
@@ -98,7 +98,7 @@ def main() -> None:
     d = g.add_node("D")
     for edge in [(a, b), (b, a), (b, c), (b, d)]:
         g.add_edge(*edge)
-    run = QueryEngine.open(g, schema, plan_cache=plan_cache).query(
+    run = connect((g, schema), plan_cache=plan_cache).query(
         q2, SIMULATION)
     print(f"\nOn a satisfying graph, the maximum match relation is:")
     for u, matches in sorted(run.answer.items()):

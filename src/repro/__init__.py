@@ -7,17 +7,22 @@ A faithful, from-scratch reproduction of:
 
 The workflow the paper proposes, in this library's vocabulary:
 
->>> from repro import QueryEngine, ebchk
+>>> import repro
 >>> from repro.graph.generators import imdb_like
 >>> from repro.pattern import parse_pattern
 >>> graph, schema = imdb_like(scale=0.02)
 >>> q = parse_pattern("m: movie; y: year; m -> y")
->>> ebchk(q, schema).bounded                    # (1) is Q bounded under A?
+>>> repro.ebchk(q, schema).bounded              # (1) is Q bounded under A?
 True
->>> engine = QueryEngine.open(graph, schema)    # (2) snapshot + index, once
+>>> engine = repro.connect((graph, schema))     # (2) snapshot + index, once
 >>> run = engine.query(q)                       # (3) plan (cached) + evaluate
 >>> len(run.answer) > 0
 True
+
+:func:`repro.connect` is the one session entry point — the same call
+opens compiled artifacts (``repro.connect("artifacts/imdb")``) and
+remote shard fleets (``repro.connect(path, backend="remote",
+shard_addrs=[...])``); see :class:`repro.SessionConfig`.
 
 The loose pieces (``SchemaIndex``, ``qplan``, ``bvf2``...) remain
 available for single-shot use; the engine amortizes them across repeated
@@ -53,6 +58,7 @@ from repro.core import (
     sqplan,
 )
 from repro.engine import PlanCache, PreparedQuery, QueryEngine
+from repro.engine.parallel import ShardBackend
 from repro.errors import (
     AdmissionRejected,
     ConstraintViolation,
@@ -62,6 +68,11 @@ from repro.errors import (
     NotEffectivelyBounded,
     ReproError,
     ServerError,
+    ServiceOverloaded,
+    ShardError,
+    ShardHandshakeMismatch,
+    ShardProtocolError,
+    ShardUnavailable,
 )
 from repro.graph import FrozenGraph, Graph, GraphDelta
 from repro.matching import (
@@ -74,8 +85,10 @@ from repro.matching import (
     simulate,
 )
 from repro.pattern import Pattern, PatternGenerator, Predicate, parse_pattern
+from repro.server.client import ServeClient
+from repro.session import SessionConfig, connect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessConstraint",
@@ -105,9 +118,18 @@ __all__ = [
     "QueryPlan",
     "ReproError",
     "SchemaIndex",
+    "ServeClient",
     "ServerError",
+    "ServiceOverloaded",
+    "SessionConfig",
+    "ShardBackend",
+    "ShardError",
+    "ShardHandshakeMismatch",
+    "ShardProtocolError",
+    "ShardUnavailable",
     "bsim",
     "bvf2",
+    "connect",
     "count_matches",
     "discover_schema",
     "ebchk",

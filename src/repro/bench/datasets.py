@@ -16,6 +16,7 @@ from repro.engine import QueryEngine
 from repro.errors import BenchmarkError
 from repro.graph.generators import dbpedia_like, imdb_like, web_like
 from repro.pattern.generator import PatternGenerator
+from repro.session import connect
 
 #: The three dataset stand-ins of Section VII.
 GENERATORS = {
@@ -54,7 +55,7 @@ def get_engine(name: str, scale: float, seed: int = 0) -> QueryEngine:
     """Memoized frozen :class:`QueryEngine` session over a dataset —
     snapshot, index build and plan cache are shared across experiments."""
     graph, schema = get_dataset(name, scale, seed)
-    return QueryEngine.open(graph, schema)
+    return connect((graph, schema))
 
 
 @lru_cache(maxsize=64)

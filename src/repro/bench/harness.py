@@ -21,6 +21,10 @@ shard_scaling             (new) scatter-gather shard execution vs the
                           sequential engine, across worker-process
                           counts (repro.graph.partition +
                           repro.engine.parallel)
+remote_fleet              (new) TCP shard-server fleet vs inline shards:
+                          owner-routing message reduction + answer
+                          identity (repro.server.shardserver +
+                          RemoteShardBackend)
 extension_rescue          (new) online M-bounded extension: build
                           latency + rescued-query throughput vs M
                           (repro.constraints.catalog +
@@ -54,6 +58,7 @@ from repro.errors import BenchmarkError, MatchTimeout
 from repro.matching.optimized import opt_gsim, opt_vf2
 from repro.matching.simulation import simulate
 from repro.matching.vf2 import find_matches
+from repro.session import connect
 
 
 def timed(fn, *args, **kwargs):
@@ -131,7 +136,7 @@ def fig5_varying_g(dataset: str, scale: float = 0.08,
 
     rows = []
     for fraction, graph in scale_series(full_graph, fractions, seed=seed):
-        engine = QueryEngine.open(graph, schema, plan_cache=plan_cache)
+        engine = connect((graph, schema), plan_cache=plan_cache)
         sub_prepared = [engine.prepare(q, SUBGRAPH) for q in sub_queries]
         sim_prepared = [engine.prepare(q, SIMULATION) for q in sim_queries]
         if sub_worst is None:
@@ -182,7 +187,7 @@ def fig5_varying_q(dataset: str, node_counts=(3, 4, 5, 6, 7),
     serve repeated calls from its answer memo).
     """
     graph, schema = get_dataset(dataset, scale)
-    engine = QueryEngine.open(graph, schema)
+    engine = connect((graph, schema))
     sx = engine.schema_index
     rows = []
     for n in node_counts:
@@ -261,7 +266,7 @@ def fig5_varying_a(dataset: str, constraint_counts=(12, 14, 16, 18, 20),
     rows = []
     for count in constraint_counts:
         schema = AccessSchema(ordered[:count])
-        engine = QueryEngine.open(graph, schema)
+        engine = connect((graph, schema))
         row = {"num_constraints": count}
         for key, queries, semantics in (("bvf2", sub_queries, SUBGRAPH),
                                         ("bsim", sim_queries, SIMULATION)):
@@ -335,11 +340,11 @@ def warm_start(dataset: str = "imdb", scale: float = 0.05,
 
     Measures the three lifecycle costs a persistent artifact amortizes:
 
-    * ``cold_build`` — ``QueryEngine.open`` (snapshot + index build) plus
-      EBChk/QPlan for ``distinct`` bounded patterns — what every process
-      paid before artifacts existed;
+    * ``cold_build`` — ``connect((graph, schema))`` (snapshot + index
+      build) plus EBChk/QPlan for ``distinct`` bounded patterns — what
+      every process paid before artifacts existed;
     * ``save`` — one-time cost of writing the artifact;
-    * ``warm_open`` — ``QueryEngine.open_path`` (best of ``opens`` runs:
+    * ``warm_open`` — ``connect(artifact)`` (best of ``opens`` runs:
       checksum + zero-copy buffer adoption, lazy index decode);
     * ``prepared_reuse`` — re-preparing the same patterns on the loaded
       engine, which must be pure plan-cache hits.
@@ -358,7 +363,7 @@ def warm_start(dataset: str = "imdb", scale: float = 0.05,
     cold_open_s = None
     for _ in range(opens):
         start = time.perf_counter()
-        engine = QueryEngine.open(graph, schema)
+        engine = connect((graph, schema))
         elapsed = time.perf_counter() - start
         cold_open_s = elapsed if cold_open_s is None else min(cold_open_s,
                                                               elapsed)
@@ -380,7 +385,7 @@ def warm_start(dataset: str = "imdb", scale: float = 0.05,
         warm_open_s = None
         for _ in range(opens):
             start = time.perf_counter()
-            warm = QueryEngine.open_path(artifact)
+            warm = connect(artifact)
             elapsed = time.perf_counter() - start
             warm_open_s = elapsed if warm_open_s is None else min(warm_open_s,
                                                                   elapsed)
@@ -453,7 +458,7 @@ def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
             f"workload for {dataset}@{scale} has too few bounded queries "
             f"({len(workload)}) for the shard-scaling experiment")
 
-    sequential = QueryEngine.open(graph, schema)
+    sequential = connect((graph, schema))
     reference = {
         (i, semantics): canonical_answer(
             semantics, sequential.query(q, semantics, refresh=True).answer)
@@ -505,8 +510,7 @@ def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
                     f"`repro compile --shards` output")
         one_worker_qps = None
         for workers in worker_counts:
-            with QueryEngine.open_path(artifact_path,
-                                       workers=workers) as engine:
+            with connect(artifact_path, workers=workers) as engine:
                 # workers=0 now serves the merged sequential view
                 # (strategy="auto"), so that row measures the 1-CPU fix
                 # rather than in-process scatter overhead.
@@ -526,6 +530,122 @@ def shard_scaling(dataset: str = "imdb", scale: float = 0.05,
                                        if one_worker_qps else None),
                 "cpu_count": cpu_count,
             })
+    return rows
+
+
+# ------------------------------------------------------------ remote fleet
+def remote_fleet(dataset: str = "imdb", scale: float = 0.05,
+                 shards: int = 4, distinct: int = 8, batches: int = 5,
+                 seed: int = 42) -> list[dict]:
+    """The remote shard backend vs inline shards, on a skewed partition.
+
+    Compiles the dataset into a *label-partitioned* sharded artifact
+    (every label's nodes concentrated on one shard — the cover owner
+    routing rewards), starts one in-process
+    :class:`~repro.server.shardserver.ShardServer` per shard, and serves
+    the same workload three ways:
+
+    * ``inline`` — shards in-process (the reference for identity);
+    * ``remote_routed`` — the TCP fleet with owner routing on;
+    * ``remote_broadcast`` — the TCP fleet with owner routing off
+      (every task to every shard — the pre-routing wire cost).
+
+    The headline metric is ``scatter_reduction``: broadcast messages /
+    routed messages for the identical workload. It is a *message-count*
+    ratio, not a wall-clock one — deterministic on any machine — and is
+    what ``benchmarks/check_regression.py`` gates on (absolute remote
+    qps over loopback says little about a real network). Identity
+    (answers, ``G_Q``, ``AccessStats``) against the inline backend is
+    asserted per row via the canonical answer form.
+    """
+    import os
+    import tempfile
+    from contextlib import ExitStack
+    from pathlib import Path
+
+    from repro.matching.bounded import canonical_answer
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    workload = _bounded_queries(pool, schema, SUBGRAPH, distinct)
+    sim_queries = _bounded_queries(pool, schema, SIMULATION, distinct)
+    if len(workload) < 2:
+        raise BenchmarkError(
+            f"workload for {dataset}@{scale} has too few bounded queries "
+            f"({len(workload)}) for the remote-fleet experiment")
+
+    # The skewed cover: all nodes of a label land on one shard, labels
+    # round-robin over shards. Owner routing then sends each fetch/edge
+    # task to exactly one shard instead of all of them.
+    labels = sorted({graph.label_of(v) for v in graph.nodes()})
+    shard_of_label = {label: i % shards for i, label in enumerate(labels)}
+    assignment = {v: shard_of_label[graph.label_of(v)]
+                  for v in graph.nodes()}
+
+    compiler = connect((graph, schema))
+    for query in workload:
+        compiler.prepare(query, SUBGRAPH)
+    for query in sim_queries:
+        compiler.prepare(query, SIMULATION)
+
+    def evaluate(engine) -> tuple[dict, int, float]:
+        """(answers by key, served, seconds) over the full workload."""
+        answers = {}
+        served = 0
+        start = time.perf_counter()
+        for _ in range(batches):
+            for semantics, queries in ((SUBGRAPH, workload),
+                                       (SIMULATION, sim_queries)):
+                runs = engine.query_batch(queries, semantics,
+                                          stats=AccessStats())
+                served += len(runs)
+                answers.update({
+                    (i, semantics): canonical_answer(semantics, run.answer)
+                    for i, run in enumerate(runs)})
+        return answers, served, time.perf_counter() - start
+
+    rows = []
+    with ExitStack() as stack:
+        artifact = Path(stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-remote-")))
+        compiler.save(artifact, shards=shards,
+                      shard_assignment=assignment)
+
+        from repro.server.shardserver import ShardServer
+
+        servers = [ShardServer(artifact / f"shard-{i:04d}").start()
+                   for i in range(shards)]
+        stack.callback(lambda: [server.stop() for server in servers])
+        addrs = [server.address for server in servers]
+
+        reference = None
+        cpu_count = os.cpu_count() or 1
+        for mode, opts in (
+                ("inline", {"strategy": "scatter"}),
+                ("remote_routed", {"backend": "remote",
+                                   "shard_addrs": addrs}),
+                ("remote_broadcast", {"backend": "remote",
+                                      "shard_addrs": addrs,
+                                      "owner_routing": False})):
+            with connect(artifact, **opts) as engine:
+                answers, served, seconds = evaluate(engine)
+                backend = engine._shards
+                if reference is None:
+                    reference = answers
+                routed = backend.scatter_messages
+                broadcast = backend.scatter_messages_broadcast
+                rows.append({
+                    "mode": mode, "shards": shards,
+                    "requests": served, "seconds": seconds,
+                    "qps": served / seconds if seconds else 0.0,
+                    "answers_identical": answers == reference,
+                    "scatter_rounds": backend.scatter_rounds,
+                    "scatter_messages": routed,
+                    "scatter_messages_broadcast": broadcast,
+                    "scatter_reduction": (broadcast / routed
+                                          if routed else None),
+                    "cpu_count": cpu_count,
+                })
     return rows
 
 
@@ -572,8 +692,8 @@ def serve_load(dataset: str = "imdb", scale: float = 0.05,
 
     def open_engine() -> QueryEngine:
         if artifact is not None:
-            return QueryEngine.open_path(artifact)
-        return QueryEngine.open(graph, schema)
+            return connect(artifact)
+        return connect((graph, schema))
 
     # Plan bounds are known before execution; the served workload is the
     # most expensive `distinct` patterns that still fit under the budget
@@ -690,7 +810,7 @@ def extension_rescue(dataset: str = "imdb", scale: float = 0.05,
         for q in sample) / len(sample)
 
     if m_values is None:
-        probe = QueryEngine.open(graph, AccessSchema(base_constraints))
+        probe = connect((graph, AccessSchema(base_constraints)))
         m_min = plan_extension(probe, unbounded, semantics=semantics).m
         m_values = sorted({m_min, 2 * m_min, 4 * m_min})
 
@@ -698,7 +818,7 @@ def extension_rescue(dataset: str = "imdb", scale: float = 0.05,
     for m in m_values:
         # A fresh engine (and schema copy) per budget: extension grows
         # the schema in place, and each row must start from generation 0.
-        engine = QueryEngine.open(graph, AccessSchema(base_constraints))
+        engine = connect((graph, AccessSchema(base_constraints)))
         start = time.perf_counter()
         plan = plan_extension(engine, unbounded, m=m, semantics=semantics)
         report = engine.extend_schema(
@@ -770,7 +890,7 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
 
     def open_serving_engine() -> QueryEngine:
         if artifact is not None:
-            engine = QueryEngine.open_path(artifact)
+            engine = connect(artifact)
             if (engine.graph.num_nodes != graph.num_nodes
                     or engine.graph.num_edges != graph.num_edges):
                 raise BenchmarkError(
@@ -780,13 +900,13 @@ def engine_throughput(dataset: str = "imdb", scale: float = 0.05,
                     f"{graph.num_edges} edges); compile it from the same "
                     f"dataset and scale")
             return engine
-        return QueryEngine.open(graph, schema)
+        return connect((graph, schema))
 
     rows = []
 
     start = time.perf_counter()
     for query in queries:
-        cold_engine = QueryEngine.open(graph, schema)
+        cold_engine = connect((graph, schema))
         cold_engine.query(query, semantics)
     cold_seconds = time.perf_counter() - start
     rows.append({"mode": "cold", "queries": len(queries),

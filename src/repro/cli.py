@@ -14,6 +14,8 @@ Subcommands::
     repro generate --dataset imdb --scale 0.05 --out prefix
     repro serve    --artifact art/ [--port 8642] [--workers 4]
                    [--max-cost 50000] [--extend-budget M]
+                   [--shard-addrs host:8650,host:8651]   # remote fleet
+    repro shard-serve --artifact art/shard-0000 [--port 8650]
     repro bench    --experiment exp1 [--experiment ...] [--dataset imdb]
                    [--scale 0.05] [--artifact art/]
 
@@ -31,7 +33,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import __version__
+from repro import __version__, connect
 from repro.constraints.schema import AccessSchema
 from repro.core.actualized import SEMANTICS, SUBGRAPH
 from repro.core.ebchk import is_effectively_bounded
@@ -77,11 +79,11 @@ def _cmd_plan(args) -> int:
 def _cmd_run(args) -> int:
     pattern = _load_pattern(args.pattern)
     if args.artifact:
-        engine = QueryEngine.open_path(args.artifact, validate=args.validate)
+        engine = connect(args.artifact, validate=args.validate)
     elif args.graph and args.schema:
         schema = AccessSchema.load(args.schema)
         graph = _load_graph(args.graph)
-        engine = QueryEngine.open(graph, schema, validate=args.validate)
+        engine = connect((graph, schema), validate=args.validate)
     else:
         print("run requires either --artifact or both --graph and --schema",
               file=sys.stderr)
@@ -240,27 +242,58 @@ def _cmd_extend(args) -> int:
         engine.close()
 
 
+def _parse_shard_addrs(values) -> list[str]:
+    """Flatten repeated/comma-separated ``--shard-addrs`` values."""
+    addrs = []
+    for value in values or ():
+        addrs.extend(part.strip() for part in value.split(",")
+                     if part.strip())
+    return addrs
+
+
+def _cmd_shard_serve(args) -> int:
+    from repro.server import shardserver
+
+    argv = ["--artifact", args.artifact, "--host", args.host]
+    if args.shard_id is not None:
+        argv += ["--shard-id", str(args.shard_id)]
+    if args.port is not None:
+        argv += ["--port", str(args.port)]
+    else:
+        # One conventional port per shard so N servers on one host never
+        # need explicit --port flags.
+        _, shard_id = shardserver.resolve_shard_artifact(args.artifact,
+                                                         args.shard_id)
+        from repro.server import protocol
+        argv += ["--port", str(protocol.DEFAULT_SHARD_PORT + shard_id)]
+    return shardserver.main(argv)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
     from repro.server import QueryServer, QueryService
 
+    shard_addrs = _parse_shard_addrs(args.shard_addrs)
     if args.artifact:
-        engine = QueryEngine.open_path(args.artifact, validate=args.validate,
-                                       workers=args.exec_workers)
-    elif args.exec_workers:
-        print("--exec-workers requires --artifact pointing at a sharded "
-              "artifact (repro compile --shards N)", file=sys.stderr)
+        engine = connect(args.artifact, validate=args.validate,
+                         workers=args.exec_workers,
+                         backend="remote" if shard_addrs else "auto",
+                         shard_addrs=shard_addrs)
+    elif args.exec_workers or shard_addrs:
+        flag = "--exec-workers" if args.exec_workers else "--shard-addrs"
+        print(f"{flag} requires --artifact pointing at a sharded "
+              f"artifact (repro compile --shards N)", file=sys.stderr)
         return 2
     elif args.graph and args.schema:
         schema = AccessSchema.load(args.schema)
-        engine = QueryEngine.open(_load_graph(args.graph), schema,
-                                  validate=args.validate)
+        engine = connect((_load_graph(args.graph), schema),
+                         validate=args.validate)
     elif args.dataset:
         from repro.bench.datasets import get_dataset
         graph, schema = get_dataset(args.dataset, args.scale, seed=args.seed)
-        engine = QueryEngine.open(graph, schema, validate=args.validate)
+        engine = connect((graph, schema), validate=args.validate)
     else:
         print("serve requires --artifact, --graph and --schema, or "
               "--dataset", file=sys.stderr)
@@ -342,6 +375,7 @@ def _cmd_bench(args) -> int:
         fig5_varying_g,
         fig5_varying_q,
         fig6_instance_bounded,
+        remote_fleet,
         render_table,
         serve_load,
         shard_scaling,
@@ -354,6 +388,7 @@ def _cmd_bench(args) -> int:
         "fig5-index-size": fig5_index_size,
         "fig6-instance": fig6_instance_bounded,
         "extension-rescue": extension_rescue,
+        "remote-fleet": remote_fleet,
     }
     #: Experiments that can serve from a compiled artifact (--artifact).
     artifact_aware = {
@@ -515,7 +550,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max constraints one rescue may add")
     p_serve.add_argument("--validate", action="store_true",
                          help="verify G |= A before serving")
+    p_serve.add_argument("--shard-addrs", action="append", default=[],
+                         help="host:port of a running `repro shard-serve` "
+                              "per shard, in shard order (repeatable, or "
+                              "one comma-separated list); serves scatter "
+                              "waves from the fleet instead of local "
+                              "shards (requires a sharded --artifact)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_shard = sub.add_parser(
+        "shard-serve",
+        help="serve one shard of a sharded artifact over TCP")
+    p_shard.add_argument("--artifact", required=True,
+                         help="per-shard directory (<artifact>/shard-NNNN)")
+    p_shard.add_argument("--shard-id", type=int, default=None,
+                         help="shard id (inferred from --artifact when it "
+                              "names a shard-NNNN directory)")
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=None,
+                         help="TCP port (default: 8650 + shard id)")
+    p_shard.set_defaults(func=_cmd_shard_serve)
 
     p_gen = sub.add_parser("generate", help="emit a synthetic dataset")
     p_gen.add_argument("--dataset", required=True)
@@ -535,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
                               " | fig5-varying-a | fig5-index-size"
                               " | fig6-instance | engine-throughput"
                               " | warm-start | serve-load | shard-scaling"
-                              " | extension-rescue; "
+                              " | remote-fleet | extension-rescue; "
                               "repeatable — experiments in one invocation "
                               "share one dataset build")
     p_bench.add_argument("--dataset", default="imdb")

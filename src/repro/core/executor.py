@@ -370,7 +370,10 @@ class _ScatterExecution:
     def _deliver_fetch(self, task, shard_responses) -> None:
         _, cpos, combos = task
         merged_payloads = [[] for _ in combos]
-        for payloads, info in shard_responses:
+        for response in shard_responses:
+            if response is None:  # shard not routed this task
+                continue
+            payloads, info = response
             for i, payload in enumerate(payloads):
                 merged_payloads[i].extend(payload)
             self.node_info.update(info)
@@ -433,6 +436,8 @@ class _ScatterExecution:
         _, cpos, combos = task
         merged = [[] for _ in combos]
         for payloads in shard_responses:
+            if payloads is None:  # shard not routed this task
+                continue
             for i, payload in enumerate(payloads):
                 merged[i].extend(payload)
         for combo, entries in zip(combos, merged):
@@ -442,7 +447,10 @@ class _ScatterExecution:
 
     def _deliver_probe(self, task, shard_responses) -> None:
         checked = 0
-        for count, found in shard_responses:
+        for response in shard_responses:
+            if response is None:  # shard not routed this task
+                continue
+            count, found = response
             checked += count
             self.edges_found.update(found)
         self.stats.record_edge_checks(checked)
@@ -481,24 +489,42 @@ class _ScatterExecution:
                                candidates=self.candidates, stats=self.stats)
 
 
+def _route_task(task: tuple, router, target_by_pos: dict) -> frozenset:
+    """Owner routing: the shard ids that can contribute a non-empty
+    response to ``task``. Sound by construction — a ``fetch``/``edge``
+    response contains only *owned* targets of the constraint's target
+    label, and a ``probe`` counts only pairs whose source the shard
+    owns, so every shard outside the returned set would respond empty
+    under broadcast and skipping it leaves the merged result (and the
+    access accounting over it) byte-identical.
+    """
+    if task[0] == TASK_PROBE:
+        return router.shards_owning_any(task[1])
+    return router.shards_with_label(target_by_pos[task[1]])
+
+
 def execute_plans_scatter(plans: list[QueryPlan], backend,
                           stats_list: list[AccessStats] | None = None,
                           edge_mode: str = MODE_PLAN) -> list[ExecutionResult]:
     """Execute ``plans`` by scatter-gather over ``backend``'s shards.
 
-    ``backend`` is a shard backend from :mod:`repro.engine.parallel`
-    (inline shards or a worker-process pool). All executions advance
-    together: each wave gathers every execution's outstanding fetches
-    into one scatter round, so a batch of queries costs a handful of
-    worker round-trips rather than one per fetch. Answers, candidate
-    sets, ``G_Q`` and access accounting are identical to
-    :func:`execute_plan` on the unpartitioned graph.
+    ``backend`` is a :class:`~repro.engine.parallel.ShardBackend`
+    (inline shards, a worker-process pool, or a remote fleet). All
+    executions advance together: each wave gathers every execution's
+    outstanding fetches into one scatter round, so a batch of queries
+    costs a handful of worker round-trips rather than one per fetch.
+    When the backend carries an :class:`~repro.engine.parallel.
+    OwnerRouter`, each task is scattered only to the shards that can
+    own its results (:func:`_route_task`) instead of broadcast to all.
+    Answers, candidate sets, ``G_Q`` and access accounting are identical
+    to :func:`execute_plan` on the unpartitioned graph either way.
     """
     if edge_mode not in (MODE_PLAN, MODE_PROBE):
         raise PlanError(f"unknown edge mode {edge_mode!r}")
     if stats_list is None:
         stats_list = [AccessStats() for _ in plans]
     constraint_pos = backend.constraint_pos
+    router = getattr(backend, "router", None)
     exes = [_ScatterExecution(plan, constraint_pos, stats, edge_mode)
             for plan, stats in zip(plans, stats_list)]
     while True:
@@ -507,7 +533,16 @@ def execute_plans_scatter(plans: list[QueryPlan], backend,
             wave.extend((exe, task) for task in exe.next_tasks())
         if not wave:
             break
-        responses = backend.scatter([task for _, task in wave])
+        tasks = [task for _, task in wave]
+        shard_sets = None
+        if router is not None:
+            # Rebuilt per wave: extend_schema may have grown the
+            # position table since the last one.
+            target_by_pos = {pos: constraint.target
+                             for constraint, pos in constraint_pos.items()}
+            shard_sets = [_route_task(task, router, target_by_pos)
+                          for task in tasks]
+        responses = backend.scatter(tasks, shard_sets)
         for i, (exe, task) in enumerate(wave):
             exe.deliver(task, [shard[i] for shard in responses])
     return [exe.result() for exe in exes]

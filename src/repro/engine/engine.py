@@ -319,18 +319,35 @@ class QueryEngine:
              cache_size: int = 128,
              plan_cache: PlanCache | None = None,
              executor: str = "auto") -> "QueryEngine":
-        """Open a query-serving session over ``graph`` under ``schema``."""
-        return cls(graph, schema, frozen=frozen, validate=validate,
-                   cache_size=cache_size, plan_cache=plan_cache,
-                   executor=executor)
+        """Open a query-serving session over ``graph`` under ``schema``.
+
+        .. deprecated:: 1.1
+            Thin shim over :func:`repro.connect` — prefer
+            ``repro.connect((graph, schema), ...)``, the one documented
+            entry point for every session kind.
+        """
+        from repro.session import SessionConfig, connect
+        return connect((graph, schema), config=SessionConfig(
+            frozen=frozen, validate=validate, cache_size=cache_size,
+            plan_cache=plan_cache, executor=executor))
 
     @classmethod
     def open_path(cls, path, *, frozen: bool = True, validate: bool = False,
                   cache_size: int = 128, allow_stale: bool = False,
                   workers: int = 0, mp_context=None,
                   strategy: str = "auto",
-                  executor: str = "auto") -> "QueryEngine":
+                  executor: str = "auto",
+                  backend: str = "auto",
+                  shard_addrs=(), connect_timeout: float = 5.0,
+                  request_timeout: float = 30.0, retries: int = 2,
+                  retry_backoff_s: float = 0.1,
+                  owner_routing: bool = True) -> "QueryEngine":
         """Warm-start a session from an artifact written by :meth:`save`.
+
+        .. deprecated:: 1.1
+            Thin shim over :func:`repro.connect` — prefer
+            ``repro.connect(path, ...)``, which takes the same options
+            via :class:`repro.SessionConfig`.
 
         Skips graph load, index build, and EBChk/QPlan for every
         canonical pattern form that was prepared before the save. Raises
@@ -355,20 +372,43 @@ class QueryEngine:
         shards only adds coordination overhead — and ``"scatter"`` when
         worker processes are requested. ``executor`` selects the plan
         executor for unsharded/merged serving (see :class:`QueryEngine`).
+
+        ``backend="remote"`` + ``shard_addrs`` serves the scatter waves
+        from a running ``repro shard-serve`` fleet instead of local
+        shards (see :class:`~repro.engine.parallel.RemoteShardBackend`
+        for the timeout/retry/owner-routing knobs forwarded here).
         """
-        from repro.engine import persist
-        return persist.load_engine(path, frozen=frozen, validate=validate,
-                                   cache_size=cache_size,
-                                   allow_stale=allow_stale, workers=workers,
-                                   mp_context=mp_context, strategy=strategy,
-                                   executor=executor)
+        from repro.session import SessionConfig, connect
+        return connect(path, config=SessionConfig(
+            frozen=frozen, validate=validate, cache_size=cache_size,
+            allow_stale=allow_stale, workers=workers, mp_context=mp_context,
+            strategy=strategy, executor=executor, backend=backend,
+            shard_addrs=shard_addrs, connect_timeout=connect_timeout,
+            request_timeout=request_timeout, retries=retries,
+            retry_backoff_s=retry_backoff_s, owner_routing=owner_routing))
 
     @classmethod
     def from_shards(cls, backend, schema, graph_summary, *,
                     plan_cache: PlanCache | None = None,
                     cache_size: int = 128) -> "QueryEngine":
         """Assemble a frozen scatter-gather session over a shard backend
-        (see :mod:`repro.engine.parallel`). The session holds no graph or
+        (see :mod:`repro.engine.parallel`).
+
+        .. deprecated:: 1.1
+            Thin shim over :func:`repro.connect` — prefer
+            ``repro.connect((backend, schema, graph_summary), ...)``.
+        """
+        from repro.session import SessionConfig, connect
+        return connect((backend, schema, graph_summary),
+                       config=SessionConfig(plan_cache=plan_cache,
+                                            cache_size=cache_size))
+
+    @classmethod
+    def _assemble_from_shards(cls, backend, schema, graph_summary, *,
+                              plan_cache: PlanCache | None = None,
+                              cache_size: int = 128) -> "QueryEngine":
+        """The real sharded-session assembly behind
+        :func:`repro.connect`. The session holds no graph or
         index of its own — only the plan compiler, the caches, and the
         backend handle; :attr:`graph` is the partition's
         :class:`~repro.graph.partition.GraphSummary`."""
@@ -390,21 +430,29 @@ class QueryEngine:
         engine._executor = "sequential"  # unused: plans go through shards
         return engine
 
-    def save(self, path, *, shards: int | None = None) -> dict:
+    def save(self, path, *, shards: int | None = None,
+             shard_assignment: dict | None = None) -> dict:
         """Persist the session's compiled state (snapshot, indexes, plan
         cache) as an artifact directory; returns the manifest. A save
         from a mutable session freezes its current state, repairing any
         staleness at ``path``. ``shards=N`` writes the sharded layout
         instead (partition + per-shard sub-artifacts), which is what
-        ``open_path(..., workers=N)`` serves from."""
+        ``open_path(..., workers=N)`` serves from. ``shard_assignment``
+        overrides the default node→shard cover (see
+        :func:`repro.graph.partition.partition_graph`) — e.g. a
+        label-partitioned cover that concentrates each label on few
+        shards, which is what owner routing rewards."""
         from repro.engine import persist
         if self._shards is not None:
             raise EngineError(
                 "a sharded session does not hold the full graph; "
                 "re-compile from the source data (repro compile --shards) "
                 "instead of re-saving")
+        if shard_assignment is not None and not shards:
+            raise EngineError("shard_assignment requires shards=N")
         if shards:
-            manifest = persist.save_sharded_engine(self, path, shards)
+            manifest = persist.save_sharded_engine(
+                self, path, shards, assignment=shard_assignment)
         else:
             manifest = persist.save_engine(self, path)
         self.artifact_path = Path(path)

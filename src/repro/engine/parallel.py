@@ -1,49 +1,73 @@
-"""Shard backends: inline shards and the multiprocessing worker pool.
+"""Shard backends: inline shards, the worker-process pool, and the
+networked shard fleet.
 
 The scatter-gather executor (:func:`repro.core.executor.
-execute_plans_scatter`) is written against a tiny backend contract:
+execute_plans_scatter`) is written against the :class:`ShardBackend`
+contract:
 
 * ``num_shards`` / ``constraint_pos`` — layout metadata;
-* ``scatter(tasks)`` — run every task against every shard, returning one
-  response list per shard, aligned with ``tasks``;
+* ``scatter(tasks, shard_sets=None)`` — run the tasks against the
+  shards, returning one response list per shard, aligned with ``tasks``.
+  ``shard_sets`` is the owner-routing hook: when given, ``shard_sets[i]``
+  is the set of shard ids that must execute ``tasks[i]``, and every
+  other shard's entry for that task is ``None``. Routing is *sound* by
+  the disjoint-union identity: a shard that owns no node a task could
+  report contributes an empty response under broadcast, so skipping it
+  cannot change the merged result;
 * ``extension_stats(labels)`` / ``extend(constraints)`` — the schema-
   lifecycle rounds: per-shard extension-planning aggregates over owned
   nodes, and shard-local index builds for *added* constraints (owned
   targets only, so the disjoint-union identity of
   :mod:`repro.graph.partition` extends to the new indexes).
 
-Two implementations live here:
+Three implementations live here:
 
 * :class:`InlineShardBackend` — shards held in-process; ``scatter`` is a
   plain loop. This is the zero-overhead default (``workers=0``) and the
-  reference the parallel backend is tested against.
+  reference the other two are tested against.
 * :class:`ProcessShardBackend` — shards held by worker *processes*, each
   warm-started from its per-shard artifact directory
   (:mod:`repro.engine.persist`). Only task/response tuples ever cross a
   process boundary — graphs and indexes are loaded worker-side from
   disk, so the pool is start-method agnostic (``fork`` and ``spawn``
   both work; CI smokes ``spawn`` on Python 3.12, the strictest mode).
+* :class:`RemoteShardBackend` — shards held by standalone ``repro
+  shard-serve`` processes (:mod:`repro.server.shardserver`), reached
+  over the JSON-lines protocol of :mod:`repro.server.protocol`. The
+  front-end holds no graph at all; it multiplexes one wave's tasks per
+  connection round, with connect/read timeouts, bounded retry with
+  backoff on transient faults, and typed
+  :class:`~repro.errors.ShardUnavailable` errors once retries exhaust.
 
 Thread safety: ``scatter`` takes an internal lock for the duration of a
-round, so a frozen sharded engine can serve the query server's worker
-threads — rounds serialize, which bounds IPC multiplexing complexity at
-the cost of round-level concurrency (micro-batching already funnels
-concurrent requests into shared rounds, so little is lost).
+round (inline excepted — frozen reads need none), so a frozen sharded
+engine can serve the query server's worker threads — rounds serialize,
+which bounds multiplexing complexity at the cost of round-level
+concurrency (micro-batching already funnels concurrent requests into
+shared rounds, so little is lost).
 """
 
 from __future__ import annotations
 
+import abc
 import atexit
 import multiprocessing
 import pickle
 import threading
+import time
 from typing import Sequence
 
 from repro.constraints.index import FrozenConstraintIndex
 from repro.constraints.schema import AccessConstraint
 from repro.core import kernels
 from repro.core.executor import run_shard_task
-from repro.errors import EngineError
+from repro.errors import (
+    EngineError,
+    ReproError,
+    ShardHandshakeMismatch,
+    ShardProtocolError,
+    ShardUnavailable,
+)
 from repro.graph.frozen import FrozenGraph
 
 
@@ -72,6 +96,13 @@ class ShardRuntime:
                 self.graph, self.schema_index, self.owned,
                 self._owned_sorted, task)
         return run_shard_task(self.graph, self.schema_index, self.owned, task)
+
+    def owned_labels(self) -> list[str]:
+        """Sorted distinct labels of the shard's *owned* nodes — the
+        per-label half of the owner-routing metadata (a shard owning no
+        node of a constraint's target label can never contribute to a
+        fetch/edge task for that constraint)."""
+        return sorted({self.graph.label_of(v) for v in self.owned})
 
     def extension_stats(self, labels: Sequence[str]) -> tuple[dict, dict]:
         """Per-shard extension-planning aggregates over *owned* nodes,
@@ -130,48 +161,176 @@ class ShardRuntime:
                 f"graph={self.graph!r})")
 
 
-class InlineShardBackend:
+class OwnerRouter:
+    """Front-end-side ownership metadata for owner-routed scatter.
+
+    Built from ``partition.bin``'s owned-node buffers (node → owning
+    shard) and the per-shard owned-label sets. The two lookups cover the
+    three task kinds exactly (see
+    :meth:`repro.core.executor.execute_plans_scatter`): ``probe`` tasks
+    go only to shards owning a source candidate, ``fetch``/``edge``
+    tasks only to shards owning at least one node of the constraint's
+    target label — every skipped shard would have contributed an empty
+    response, so the merged result is unchanged.
+    """
+
+    __slots__ = ("_owner_of", "_label_shards", "num_shards")
+
+    def __init__(self, owners_by_shard: dict, labels_by_shard: dict):
+        self._owner_of = {int(v): shard_id
+                          for shard_id, owned in owners_by_shard.items()
+                          for v in owned}
+        label_shards: dict[str, set[int]] = {}
+        for shard_id, labels in labels_by_shard.items():
+            for label in labels:
+                label_shards.setdefault(label, set()).add(shard_id)
+        self._label_shards = {label: frozenset(shards)
+                              for label, shards in label_shards.items()}
+        self.num_shards = len(owners_by_shard)
+
+    def shards_with_label(self, label: str) -> frozenset:
+        """Shards owning at least one node labeled ``label``."""
+        return self._label_shards.get(label, frozenset())
+
+    def shards_owning_any(self, nodes) -> frozenset:
+        """Shards owning at least one of ``nodes``."""
+        owner_of = self._owner_of
+        return frozenset(owner_of[v] for v in nodes if v in owner_of)
+
+    def __repr__(self) -> str:
+        return (f"OwnerRouter(shards={self.num_shards}, "
+                f"nodes={len(self._owner_of)}, "
+                f"labels={len(self._label_shards)})")
+
+
+class ShardBackend(abc.ABC):
+    """The public contract every shard backend implements.
+
+    :func:`repro.core.executor.execute_plans_scatter` and the engine's
+    schema-extension path are written against exactly this surface;
+    :class:`InlineShardBackend`, :class:`ProcessShardBackend` and
+    :class:`RemoteShardBackend` all subclass it, and
+    ``tests/test_backend_contract.py`` runs one suite over all three.
+
+    Subclasses must call ``super().__init__(schema)`` (which seeds
+    ``constraint_pos`` and the round counters) and use
+    :meth:`_record_round` / :meth:`_grow_positions` so accounting and
+    position bookkeeping stay uniform.
+    """
+
+    def __init__(self, schema):
+        #: constraint -> position in the schema's canonical order (the
+        #: scatter task protocol addresses constraints by position).
+        #: ``extend`` grows it in place.
+        self.constraint_pos = schema.positions()
+        #: Owner-routing metadata (:class:`OwnerRouter`) or None for
+        #: broadcast scatter.
+        self.router: OwnerRouter | None = None
+        #: Round accounting: ``scatter_messages`` counts (task, shard)
+        #: executions — the fan-out owner routing exists to cut — and
+        #: ``scatter_messages_broadcast`` what a broadcast of the same
+        #: rounds would have cost.
+        self.scatter_rounds = 0
+        self.tasks_scattered = 0
+        self.scatter_messages = 0
+        self.scatter_messages_broadcast = 0
+
+    # -- contract -------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_shards(self) -> int:
+        """Number of shards in the partition."""
+
+    @property
+    def workers(self) -> int:
+        """Local worker processes backing the shards (0 when the shards
+        are in-process or remote)."""
+        return 0
+
+    @abc.abstractmethod
+    def scatter(self, tasks: list[tuple],
+                shard_sets: list | None = None) -> list[list]:
+        """Run one wave of tasks; one response list per shard, aligned
+        with ``tasks``. With ``shard_sets``, a shard's entry for a task
+        it was not routed is ``None``."""
+
+    @abc.abstractmethod
+    def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
+        """Per-shard (label counts, neighbour bounds) in shard order."""
+
+    @abc.abstractmethod
+    def extend(self, constraints: Sequence[AccessConstraint]) -> list[dict]:
+        """Build shard-local indexes for added constraints on every
+        shard; per-shard build summaries in shard order. Implementations
+        must grow ``constraint_pos`` (:meth:`_grow_positions`) before
+        returning, so the parent may publish the new schema generation
+        the moment this call completes."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+
+    # -- shared bookkeeping ---------------------------------------------------
+    def _record_round(self, tasks, shard_sets) -> None:
+        self.scatter_rounds += 1
+        self.tasks_scattered += len(tasks)
+        broadcast = len(tasks) * self.num_shards
+        self.scatter_messages_broadcast += broadcast
+        if shard_sets is None:
+            self.scatter_messages += broadcast
+        else:
+            self.scatter_messages += sum(len(s) for s in shard_sets)
+
+    def _grow_positions(self, constraints) -> None:
+        for constraint in constraints:
+            self.constraint_pos.setdefault(constraint,
+                                           len(self.constraint_pos))
+
+
+class InlineShardBackend(ShardBackend):
     """All shards in the current process; ``scatter`` is a loop.
 
     Frozen shard state makes concurrent ``scatter`` calls safe without
-    locking — reads only.
+    locking — reads only. ``owner_routing=False`` drops the router and
+    broadcasts every task (the reference mode benchmarks compare
+    against).
     """
 
-    def __init__(self, runtimes: list[ShardRuntime], schema):
+    def __init__(self, runtimes: list[ShardRuntime], schema, *,
+                 owner_routing: bool = True):
         if not runtimes:
             raise EngineError("a shard backend needs at least one shard")
+        super().__init__(schema)
         self.runtimes = runtimes
-        self.constraint_pos = schema.positions()
+        if owner_routing:
+            self.router = OwnerRouter(
+                {r.shard_id: r.owned for r in runtimes},
+                {r.shard_id: r.owned_labels() for r in runtimes})
 
     @property
     def num_shards(self) -> int:
         return len(self.runtimes)
 
-    @property
-    def workers(self) -> int:
-        return 0
-
-    def scatter(self, tasks: list[tuple]) -> list[list]:
-        return [[runtime.handle(task) for task in tasks]
+    def scatter(self, tasks: list[tuple],
+                shard_sets: list | None = None) -> list[list]:
+        self._record_round(tasks, shard_sets)
+        if shard_sets is None:
+            return [[runtime.handle(task) for task in tasks]
+                    for runtime in self.runtimes]
+        return [[runtime.handle(task) if runtime.shard_id in routed else None
+                 for task, routed in zip(tasks, shard_sets)]
                 for runtime in self.runtimes]
 
     def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
-        """Per-shard (label counts, neighbour bounds) in shard order."""
         return [runtime.extension_stats(labels)
                 for runtime in self.runtimes]
 
     def extend(self, constraints: Sequence[AccessConstraint]) -> list[dict]:
-        """Build shard-local indexes for the added constraints on every
-        shard; per-shard build summaries in shard order. The position
-        table grows *before* returning, so the parent may publish the
-        new generation the moment this call completes."""
         results = [runtime.extend(constraints) for runtime in self.runtimes]
-        for constraint in constraints:
-            self.constraint_pos.setdefault(constraint,
-                                           len(self.constraint_pos))
+        self._grow_positions(constraints)
         return results
 
-    def close(self) -> None:  # symmetric with the process backend
+    def close(self) -> None:  # symmetric with the other backends
         pass
 
     def __repr__(self) -> str:
@@ -183,10 +342,12 @@ def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
     """Worker-process entry point (module-level: spawn-picklable).
 
     Warm-starts the assigned shards from the sharded artifact at
-    ``artifact_path`` and serves ``("scatter", tasks)`` requests until a
-    ``("close",)`` sentinel (or EOF) arrives. Responses are
-    ``("ok", {shard_id: [response, ...]})`` or ``("error", repr)`` — a
-    failed round reports instead of wedging the parent.
+    ``artifact_path`` and serves ``("scatter", tasks, shard_lists)``
+    requests until a ``("close",)`` sentinel (or EOF) arrives. Responses
+    are ``("ok", {shard_id: [response, ...]})`` or ``("error", repr)`` —
+    a failed round reports instead of wedging the parent. The ready
+    message carries each shard's owned-label set, the per-label half of
+    the parent's owner-routing metadata.
     """
     try:
         from repro.engine import persist
@@ -197,7 +358,7 @@ def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
         finally:
             conn.close()
         return
-    conn.send(("ready", [r.shard_id for r in runtimes]))
+    conn.send(("ready", {r.shard_id: r.owned_labels() for r in runtimes}))
     while True:
         try:
             message = conn.recv()
@@ -208,10 +369,17 @@ def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
             break
         try:
             if kind == "scatter":
-                _, tasks = message
-                payload = {runtime.shard_id: [runtime.handle(task)
-                                              for task in tasks]
-                           for runtime in runtimes}
+                _, tasks, shard_lists = message
+                payload = {}
+                for runtime in runtimes:
+                    if shard_lists is None:
+                        responses = [runtime.handle(task) for task in tasks]
+                    else:
+                        responses = [runtime.handle(task)
+                                     if runtime.shard_id in routed else None
+                                     for task, routed
+                                     in zip(tasks, shard_lists)]
+                    payload[runtime.shard_id] = responses
             elif kind == "stats":
                 _, labels = message
                 payload = {runtime.shard_id: runtime.extension_stats(labels)
@@ -230,7 +398,7 @@ def _shard_worker_main(conn, artifact_path: str, shard_ids: list[int]) -> None:
     conn.close()
 
 
-class ProcessShardBackend:
+class ProcessShardBackend(ShardBackend):
     """Worker-process pool over the shards of a sharded artifact.
 
     Parameters
@@ -248,13 +416,16 @@ class ProcessShardBackend:
         A ``multiprocessing`` context; defaults to the interpreter's
         current start method (``multiprocessing.get_context()``), so a
         global ``set_start_method("spawn")`` is honoured.
+    owner_routing:
+        Build the :class:`OwnerRouter` from ``partition.bin`` plus the
+        workers' ready messages (default); False broadcasts every task.
     """
 
     def __init__(self, artifact_path, shard_ids: Sequence[int], schema, *,
-                 workers: int, mp_context=None):
+                 workers: int, mp_context=None, owner_routing: bool = True):
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
-        self.constraint_pos = schema.positions()
+        super().__init__(schema)
         self._shard_ids = list(shard_ids)
         self._lock = threading.Lock()
         self._closed = False
@@ -273,11 +444,18 @@ class ProcessShardBackend:
                 process.start()
                 child_conn.close()
                 self._workers.append((process, parent_conn, worker_shards))
+            labels_by_shard: dict[int, list[str]] = {}
             for process, conn, worker_shards in self._workers:
                 kind, payload = conn.recv()
                 if kind != "ready":
                     raise EngineError(
                         f"shard worker failed to start: {payload}")
+                labels_by_shard.update(payload)
+            if owner_routing:
+                from repro.engine import persist
+                self.router = OwnerRouter(
+                    persist.load_partition_owners(artifact_path),
+                    labels_by_shard)
         except BaseException:
             self._terminate()
             raise
@@ -326,10 +504,12 @@ class ProcessShardBackend:
                 raise EngineError(f"shard worker error: {'; '.join(errors)}")
         return by_shard
 
-    def scatter(self, tasks: list[tuple]) -> list[list]:
-        """One scatter round: every worker runs ``tasks`` on each of its
-        shards; responses come back in shard order."""
-        by_shard = self._round(("scatter", tasks))
+    def scatter(self, tasks: list[tuple],
+                shard_sets: list | None = None) -> list[list]:
+        """One scatter round: every worker runs its shards' routed
+        tasks; responses come back in shard order."""
+        self._record_round(tasks, shard_sets)
+        by_shard = self._round(("scatter", tasks, shard_sets))
         return [by_shard[shard_id] for shard_id in self._shard_ids]
 
     def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
@@ -344,9 +524,7 @@ class ProcessShardBackend:
         table grows before returning so the parent may publish the new
         catalog generation immediately."""
         by_shard = self._round(("extend", [c.to_dict() for c in constraints]))
-        for constraint in constraints:
-            self.constraint_pos.setdefault(constraint,
-                                           len(self.constraint_pos))
+        self._grow_positions(constraints)
         return [by_shard[shard_id] for shard_id in self._shard_ids]
 
     def close(self) -> None:
@@ -381,8 +559,424 @@ class ProcessShardBackend:
                 f"closed={self._closed})")
 
 
+# ------------------------------------------------------------- remote fleet
+def parse_shard_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; raises ``EngineError`` on
+    junk so a typo'd ``--shard-addrs`` fails before any connect."""
+    host, sep, port = str(addr).rpartition(":")
+    if not sep or not host:
+        raise EngineError(f"shard address {addr!r} is not host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise EngineError(f"shard address {addr!r} has a non-numeric "
+                          f"port") from None
+
+
+class _ShardConn:
+    """One front-end connection to one ``repro shard-serve`` process.
+
+    Not thread-safe on its own — :class:`RemoteShardBackend` serializes
+    rounds under its lock. ``sock is None`` means "currently
+    disconnected"; the backend reconnects (and re-handshakes) on demand.
+    """
+
+    __slots__ = ("addr", "host", "port", "sock", "file", "shard_id",
+                 "next_id")
+
+    def __init__(self, addr: str):
+        self.addr = addr
+        self.host, self.port = parse_shard_addr(addr)
+        self.sock = None
+        self.file = None
+        self.shard_id: int | None = None
+        self.next_id = 0
+
+    def send(self, doc: dict) -> int:
+        from repro.server import protocol
+        self.next_id += 1
+        doc = {"id": self.next_id, **doc}
+        self.sock.sendall(protocol.encode(doc))
+        return self.next_id
+
+    def recv(self, request_id: int) -> dict:
+        from repro.server import protocol
+        response = protocol.read_frame(self.file)
+        if response.get("id") != request_id:
+            raise ShardProtocolError(
+                f"shard {self.addr}: response id {response.get('id')!r} "
+                f"does not match request id {request_id!r}", addr=self.addr)
+        if not response.get("ok"):
+            protocol.raise_error(response)
+        return response
+
+    def call(self, doc: dict) -> dict:
+        return self.recv(self.send(doc))
+
+    def close(self) -> None:
+        for stream in (self.file, self.sock):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self.sock = None
+        self.file = None
+
+
+#: Transient connection faults worth a bounded retry: refused/reset/
+#: timed-out sockets and peers that hung up (cleanly or mid-frame).
+_TRANSIENT = (OSError, EOFError)
+
+
+class RemoteShardBackend(ShardBackend):
+    """The backend contract over a fleet of ``repro shard-serve``
+    processes.
+
+    The front-end opens the *same* sharded artifact directory the fleet
+    serves from (plans, catalog, partition — everything except the shard
+    graphs) and handshakes every address: exact protocol and artifact
+    format-version agreement plus a manifest-checksum match against the
+    top manifest's per-shard root of trust, so a fleet serving a
+    different compile fails loudly at connect, never silently mid-wave.
+    Addresses may list the shards in any order — each server reports
+    which shard it holds, and the set must cover the partition exactly.
+
+    Failure semantics: transient faults (connect refused/reset, read
+    timeout, peer death mid-round) are retried per shard up to
+    ``retries`` times with exponential backoff, re-handshaking on every
+    reconnect and replaying any online schema extensions before the
+    round resumes — a shard restarted from the artifact mid-run answers
+    identically. Exhausted retries raise
+    :class:`~repro.errors.ShardUnavailable`; wire garbage and handshake
+    disagreements raise their own typed errors immediately (they are
+    deployment bugs, not weather).
+    """
+
+    def __init__(self, shard_addrs: Sequence[str], schema, *,
+                 artifact_path, manifest: dict | None = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0,
+                 retries: int = 2, retry_backoff_s: float = 0.1,
+                 owner_routing: bool = True):
+        from repro.engine import persist
+
+        super().__init__(schema)
+        self._artifact_path = artifact_path
+        if manifest is None:
+            manifest = persist.read_sharded_manifest(artifact_path)
+        shard_meta = manifest.get("shards") or []
+        if len(shard_addrs) != len(shard_meta):
+            raise EngineError(
+                f"artifact at {artifact_path} has {len(shard_meta)} "
+                f"shards but {len(shard_addrs)} shard addresses were "
+                f"given")
+        self._expected = {
+            "format_version": manifest.get("format_version"),
+            "schema_version": manifest.get("schema_version"),
+            "manifest_sha256": {shard_id: meta.get("manifest_sha256")
+                                for shard_id, meta
+                                in enumerate(shard_meta)},
+        }
+        self._shard_ids = list(range(len(shard_meta)))
+        self.shard_addrs = list(shard_addrs)
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Online extensions to replay after a shard restart (a restart
+        #: warm-starts from the artifact, which predates them).
+        self._applied_extensions: list[dict] = []
+        self.reconnects = 0
+        self._conns: dict[int, _ShardConn] = {}
+        conns = [_ShardConn(addr) for addr in shard_addrs]
+        try:
+            labels_by_shard: dict[int, list[str]] = {}
+            for conn in conns:
+                hello = self._connect(conn)
+                if conn.shard_id in self._conns:
+                    other = self._conns[conn.shard_id].addr
+                    raise ShardHandshakeMismatch(
+                        f"shard servers {other} and {conn.addr} both "
+                        f"serve shard {conn.shard_id}", addr=conn.addr,
+                        found=conn.shard_id)
+                self._conns[conn.shard_id] = conn
+                labels_by_shard[conn.shard_id] = \
+                    [str(label) for label in hello.get("owned_labels", ())]
+            missing = sorted(set(self._shard_ids) - set(self._conns))
+            if missing:
+                raise ShardHandshakeMismatch(
+                    f"shard addresses cover no server for shards "
+                    f"{missing}", expected=self._shard_ids)
+            if owner_routing:
+                self.router = OwnerRouter(
+                    persist.load_partition_owners(artifact_path,
+                                                  manifest=manifest),
+                    labels_by_shard)
+        except BaseException:
+            for conn in conns:
+                conn.close()
+            raise
+
+    # -- connection management ------------------------------------------------
+    def _connect(self, conn: _ShardConn) -> dict:
+        """(Re)connect one shard connection and run the handshake;
+        returns the server's hello document."""
+        from repro.server import protocol
+
+        conn.close()
+        try:
+            conn.sock = protocol.connect_retry(
+                conn.host, conn.port, timeout=self.request_timeout,
+                connect_timeout=self.connect_timeout)
+        except OSError as exc:
+            raise ShardUnavailable(
+                f"cannot connect to shard server {conn.addr}: {exc}",
+                addr=conn.addr, shard_id=conn.shard_id) from None
+        conn.file = conn.sock.makefile("rb")
+        try:
+            hello = conn.call({
+                "op": "hello",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "format_version": self._expected["format_version"],
+            })
+        except _TRANSIENT as exc:
+            conn.close()
+            raise ShardUnavailable(
+                f"shard server {conn.addr} hung up during the handshake: "
+                f"{exc}", addr=conn.addr, shard_id=conn.shard_id) from None
+        for field in ("protocol", "format_version", "schema_version"):
+            expected = protocol.PROTOCOL_VERSION if field == "protocol" \
+                else self._expected[field]
+            if hello.get(field) != expected:
+                conn.close()
+                raise ShardHandshakeMismatch(
+                    f"shard server {conn.addr} speaks {field} "
+                    f"{hello.get(field)!r}, this front-end expects "
+                    f"{expected!r}", addr=conn.addr,
+                    found=hello.get(field), expected=expected)
+        shard_id = hello.get("shard_id")
+        expected_sha = self._expected["manifest_sha256"].get(shard_id)
+        if expected_sha is None:
+            conn.close()
+            raise ShardHandshakeMismatch(
+                f"shard server {conn.addr} serves shard {shard_id!r}, "
+                f"which is not in the partition "
+                f"({len(self._shard_ids)} shards)", addr=conn.addr,
+                found=shard_id, expected=self._shard_ids)
+        if hello.get("manifest_sha256") != expected_sha:
+            conn.close()
+            raise ShardHandshakeMismatch(
+                f"shard server {conn.addr} serves a different compile of "
+                f"shard {shard_id} (manifest checksum mismatch); "
+                f"re-deploy the fleet from this artifact", addr=conn.addr,
+                found=hello.get("manifest_sha256"), expected=expected_sha)
+        conn.shard_id = shard_id
+        return hello
+
+    def _reconnect(self, conn: _ShardConn) -> None:
+        self.reconnects += 1
+        self._connect(conn)
+        if self._applied_extensions:
+            # A restarted server warm-started from the artifact, which
+            # predates any online extension — replay them (idempotent
+            # shard-side) before it sees another task.
+            conn.call({"op": "extend",
+                       "constraints": list(self._applied_extensions)})
+
+    def _retry_request(self, conn: _ShardConn, doc: dict,
+                       first_error: Exception) -> dict:
+        """Bounded retry with backoff after a transient fault; raises
+        :class:`~repro.errors.ShardUnavailable` once exhausted."""
+        last = first_error
+        for attempt in range(self.retries):
+            time.sleep(self.retry_backoff_s * (2 ** attempt))
+            try:
+                self._reconnect(conn)
+                return conn.call(doc)
+            except _TRANSIENT as exc:
+                last = exc
+            except ShardUnavailable as exc:
+                last = exc
+        raise ShardUnavailable(
+            f"shard server {conn.addr} (shard {conn.shard_id}) is "
+            f"unavailable after {self.retries + 1} attempts: {last}",
+            addr=conn.addr, shard_id=conn.shard_id,
+            attempts=self.retries + 1) from None
+
+    def _request_round(self, messages: dict[int, dict]) -> dict[int, dict]:
+        """Send one request per participating shard, then gather the
+        responses — the sends go out before any read, so the fleet works
+        the round concurrently while this thread blocks on the slowest
+        shard. Transient per-shard faults fall back to the bounded retry
+        path; rounds serialize under the backend lock. Every pending
+        response is drained before any error is raised (each shard sends
+        exactly one response per round, and leaving one queued would
+        desynchronize the next round's connections)."""
+        with self._lock:
+            if self._closed:
+                raise EngineError("remote shard backend is closed")
+            results: dict[int, dict] = {}
+            errors: list[Exception] = []
+            pending: list[tuple[int, int]] = []
+            for shard_id, doc in messages.items():
+                conn = self._conns[shard_id]
+                try:
+                    if conn.sock is None:
+                        self._reconnect(conn)
+                    pending.append((shard_id, conn.send(doc)))
+                except _TRANSIENT as exc:
+                    try:
+                        results[shard_id] = self._retry_request(conn, doc,
+                                                                exc)
+                    except ReproError as final:
+                        errors.append(final)
+                except ReproError as exc:  # e.g. handshake disagreement
+                    errors.append(exc)
+            for shard_id, request_id in pending:
+                conn = self._conns[shard_id]
+                try:
+                    results[shard_id] = conn.recv(request_id)
+                except _TRANSIENT as exc:
+                    conn.close()
+                    try:
+                        results[shard_id] = self._retry_request(
+                            conn, messages[shard_id], exc)
+                    except ReproError as final:
+                        errors.append(final)
+                except ShardProtocolError as exc:
+                    # The stream is desynchronized — force a fresh
+                    # connection before this shard is used again.
+                    conn.close()
+                    errors.append(exc)
+                except ReproError as exc:  # typed server-side error;
+                    errors.append(exc)     # the connection stays in sync
+            if errors:
+                raise errors[0]
+            return results
+
+    # -- contract -------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_ids)
+
+    def scatter(self, tasks: list[tuple],
+                shard_sets: list | None = None) -> list[list]:
+        from repro.server import protocol
+
+        self._record_round(tasks, shard_sets)
+        messages: dict[int, dict] = {}
+        sent_indices: dict[int, list[int]] = {}
+        for shard_id in self._shard_ids:
+            if shard_sets is None:
+                indices = list(range(len(tasks)))
+            else:
+                indices = [i for i, routed in enumerate(shard_sets)
+                           if shard_id in routed]
+            if not indices:
+                continue  # no message at all — the owner-routing win
+            sent_indices[shard_id] = indices
+            messages[shard_id] = {
+                "op": "scatter",
+                "tasks": [protocol.encode_task(tasks[i]) for i in indices],
+            }
+        results = self._request_round(messages)
+        responses = []
+        for shard_id in self._shard_ids:
+            row: list = [None] * len(tasks)
+            if shard_id in results:
+                conn = self._conns[shard_id]
+                payload = results[shard_id].get("responses")
+                indices = sent_indices[shard_id]
+                if not isinstance(payload, list) \
+                        or len(payload) != len(indices):
+                    raise ShardProtocolError(
+                        f"shard {conn.addr}: scatter response does not "
+                        f"align with the {len(indices)} tasks sent",
+                        addr=conn.addr)
+                for i, encoded in zip(indices, payload):
+                    row[i] = protocol.decode_shard_response(tasks[i][0],
+                                                            encoded)
+            responses.append(row)
+        return responses
+
+    def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
+        from repro.server import protocol
+
+        labels = list(labels)
+        results = self._request_round(
+            {shard_id: {"op": "extension_stats", "labels": labels}
+             for shard_id in self._shard_ids})
+        return [protocol.decode_extension_stats(results[shard_id])
+                for shard_id in self._shard_ids]
+
+    def extend(self, constraints: Sequence[AccessConstraint]) -> list[dict]:
+        docs = [c.to_dict() for c in constraints]
+        results = self._request_round(
+            {shard_id: {"op": "extend", "constraints": docs}
+             for shard_id in self._shard_ids})
+        self._applied_extensions.extend(docs)
+        self._grow_positions(constraints)
+        out = []
+        for shard_id in self._shard_ids:
+            result = results[shard_id].get("result") or {}
+            out.append({"shard_id": int(result.get("shard_id", shard_id)),
+                        "built": int(result.get("built", 0)),
+                        "cells": int(result.get("cells", 0))})
+        return out
+
+    # -- fleet management -----------------------------------------------------
+    def ping(self) -> bool:
+        """Round-trip every shard connection."""
+        results = self._request_round(
+            {shard_id: {"op": "ping"} for shard_id in self._shard_ids})
+        return all(results[shard_id].get("op") == "pong"
+                   for shard_id in self._shard_ids)
+
+    def shard_metrics(self) -> list[dict]:
+        """Per-shard server metrics snapshots, in shard order."""
+        results = self._request_round(
+            {shard_id: {"op": "metrics"} for shard_id in self._shard_ids})
+        return [{k: v for k, v in results[shard_id].items()
+                 if k not in ("id", "ok")}
+                for shard_id in self._shard_ids]
+
+    def reload_fleet(self) -> list[dict]:
+        """Ask every shard server to reload its shard from disk (after a
+        re-compile of the artifact tree it serves). The front-end must
+        re-open its own session afterwards — the query service's hot
+        reload drives both halves in that order."""
+        results = self._request_round(
+            {shard_id: {"op": "reload"} for shard_id in self._shard_ids})
+        return [{k: v for k, v in results[shard_id].items()
+                 if k not in ("id", "ok")}
+                for shard_id in self._shard_ids]
+
+    def close(self) -> None:
+        """Close the fleet connections (idempotent). The servers keep
+        running — they belong to the deployment, not to this session."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns.values():
+                conn.close()
+
+    def __repr__(self) -> str:
+        addrs = [self._conns[shard_id].addr for shard_id in self._shard_ids
+                 if shard_id in self._conns]
+        return (f"RemoteShardBackend(shards={self.num_shards}, "
+                f"addrs={addrs}, closed={self._closed})")
+
+
 __all__ = [
     "InlineShardBackend",
+    "OwnerRouter",
     "ProcessShardBackend",
+    "RemoteShardBackend",
+    "ShardBackend",
     "ShardRuntime",
+    "parse_shard_addr",
 ]

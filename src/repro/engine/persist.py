@@ -57,6 +57,7 @@ import struct
 import sys
 from array import array
 from pathlib import Path
+from typing import Sequence
 
 from repro.constraints.index import (
     ConstraintIndex,
@@ -554,11 +555,19 @@ def artifact_layout(path) -> str:
 #: Serving strategies for sharded artifacts (see :func:`load_engine`).
 STRATEGIES = ("auto", "sequential", "scatter")
 
+#: Shard backends for scatter serving (see :func:`load_engine`).
+BACKENDS = ("auto", "inline", "process", "remote")
+
 
 def load_engine(path, *, frozen: bool = True, validate: bool = False,
                 cache_size: int = 128, allow_stale: bool = False,
                 workers: int = 0, mp_context=None, strategy: str = "auto",
-                executor: str = "auto"):
+                executor: str = "auto", backend: str = "auto",
+                shard_addrs: Sequence[str] = (),
+                connect_timeout: float = 5.0,
+                request_timeout: float = 30.0,
+                retries: int = 2, retry_backoff_s: float = 0.1,
+                owner_routing: bool = True):
     """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
 
     The frozen path (default) is the warm start: CSR buffers are adopted
@@ -583,6 +592,18 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
       in-process scatter over shards only adds coordination overhead on
       one CPU) and ``"scatter"`` when worker processes are requested.
 
+    ``backend`` picks *where* the shards of a scatter session live:
+    ``"inline"`` (this process), ``"process"`` (the worker pool —
+    implied by ``workers=N``), or ``"remote"`` — a fleet of ``repro
+    shard-serve`` processes reached through ``shard_addrs`` (one
+    ``host:port`` per shard, any order), with ``connect_timeout`` /
+    ``request_timeout`` / ``retries`` / ``retry_backoff_s`` governing
+    the connection robustness (see
+    :class:`~repro.engine.parallel.RemoteShardBackend`). ``"auto"``
+    (default) infers ``remote`` when ``shard_addrs`` is non-empty and
+    ``process`` when ``workers`` is. ``owner_routing=False`` disables
+    owner-filtered scatter (broadcast every task — the reference mode).
+
     ``executor`` picks the plan executor for unsharded or merged serving
     (see :class:`~repro.engine.engine.QueryEngine`). ``workers`` and
     ``strategy="scatter"`` are rejected for single-layout artifacts
@@ -593,6 +614,23 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
     if strategy not in STRATEGIES:
         raise EngineError(f"unknown strategy {strategy!r}; expected one "
                           f"of {STRATEGIES}")
+    if backend not in BACKENDS:
+        raise EngineError(f"unknown backend {backend!r}; expected one "
+                          f"of {BACKENDS}")
+    if backend == "auto":
+        backend = "remote" if shard_addrs else \
+            ("process" if workers else "inline")
+    if backend == "remote" and not shard_addrs:
+        raise EngineError("backend='remote' needs shard_addrs "
+                          "(one host:port per shard)")
+    if backend != "remote" and shard_addrs:
+        raise EngineError(f"shard_addrs only applies to backend='remote', "
+                          f"not {backend!r}")
+    if backend == "remote" and workers:
+        raise EngineError("backend='remote' serves from standalone shard "
+                          "servers; it is incompatible with workers")
+    if backend == "process" and not workers:
+        raise EngineError("backend='process' needs workers >= 1")
     path = Path(path)
     manifest = _read_manifest(path)
     if manifest.get("layout") == "sharded":
@@ -600,11 +638,22 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                                     cache_size=cache_size, workers=workers,
                                     mp_context=mp_context, frozen=frozen,
                                     allow_stale=allow_stale,
-                                    strategy=strategy, executor=executor)
+                                    strategy=strategy, executor=executor,
+                                    backend=backend,
+                                    shard_addrs=shard_addrs,
+                                    connect_timeout=connect_timeout,
+                                    request_timeout=request_timeout,
+                                    retries=retries,
+                                    retry_backoff_s=retry_backoff_s,
+                                    owner_routing=owner_routing)
     if workers:
         raise EngineError(
             f"artifact at {path} is not sharded; open it without workers, "
             f"or re-compile with `repro compile --shards N`")
+    if backend == "remote":
+        raise EngineError(
+            f"artifact at {path} is not sharded; backend='remote' needs "
+            f"a sharded artifact (repro compile --shards N)")
     if strategy == "scatter":
         raise EngineError(
             f"artifact at {path} is not sharded; strategy='scatter' needs "
@@ -644,7 +693,8 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
 
 
 # ----------------------------------------------------------------- sharded layout
-def save_sharded_engine(engine, path, shards: int) -> dict:
+def save_sharded_engine(engine, path, shards: int,
+                        assignment: dict | None = None) -> dict:
     """Partition ``engine``'s graph into ``shards`` halo shards and write
     a sharded artifact directory.
 
@@ -672,7 +722,7 @@ def save_sharded_engine(engine, path, shards: int) -> dict:
     graph = engine.graph
     if not isinstance(graph, FrozenGraph):
         graph = FrozenGraph.from_graph(graph)
-    partition = partition_graph(graph, shards)
+    partition = partition_graph(graph, shards, assignment=assignment)
     shard_indexes = build_shard_indexes(partition, engine.schema)
 
     path = Path(path)
@@ -891,6 +941,60 @@ def verify_sharded_artifact(path, manifest: dict | None = None) -> int:
     return len(shard_entries)
 
 
+def read_sharded_manifest(path) -> dict:
+    """The (version-checked) manifest of a *sharded* artifact; raises
+    :class:`~repro.errors.ArtifactCorrupt` for the single layout. The
+    remote-backend handshake reads its expectations from this — the
+    artifact format version, schema version and per-shard manifest
+    checksums every ``repro shard-serve`` process must agree with at
+    connect time."""
+    manifest = _read_manifest(Path(path))
+    if manifest.get("layout") != "sharded":
+        raise ArtifactCorrupt(f"artifact at {path} is not sharded",
+                              path=str(path))
+    return manifest
+
+
+def load_partition_owners(path, manifest: dict | None = None) -> dict:
+    """``{shard_id: [owned node ids]}`` from ``partition.bin``, checksum
+    verified against the manifest — the node-ownership half of the
+    owner-routing metadata (see
+    :class:`~repro.engine.parallel.OwnerRouter`). Reads only the
+    partition payload, so a front-end that holds no graph can still
+    route probes."""
+    path = Path(path)
+    if manifest is None:
+        manifest = read_sharded_manifest(path)
+    meta = (manifest.get("files") or {}).get(PARTITION_FILE)
+    if not isinstance(meta, dict):
+        raise ArtifactCorrupt(
+            f"artifact manifest at {path} does not list {PARTITION_FILE}",
+            path=str(path))
+    file_path = path / PARTITION_FILE
+    try:
+        data = file_path.read_bytes()
+    except OSError as exc:
+        raise ArtifactCorrupt(f"missing artifact file {file_path}: {exc}",
+                              path=str(file_path)) from exc
+    if hashlib.sha256(data).hexdigest() != meta.get("sha256"):
+        raise ArtifactCorrupt(
+            f"{file_path}: checksum mismatch (artifact is corrupt or was "
+            f"modified; re-compile it)", path=str(file_path))
+    buffers = unpack_buffers(data,
+                             byteswap=manifest.get("byteorder")
+                             != sys.byteorder,
+                             source=PARTITION_FILE)
+    owners: dict[int, list[int]] = {}
+    for shard_id in range(len(manifest.get("shards") or ())):
+        owned = buffers.get(f"s{shard_id}.owned")
+        if owned is None:
+            raise ArtifactCorrupt(
+                f"{file_path} is missing the owned-node buffer for "
+                f"shard {shard_id}", path=str(file_path))
+        owners[shard_id] = list(owned)
+    return owners
+
+
 def load_shard_runtimes(path, shard_ids) -> list:
     """Load the given shards of a sharded artifact into
     :class:`~repro.engine.parallel.ShardRuntime` objects (the worker
@@ -937,9 +1041,19 @@ def load_shard_runtimes(path, shard_ids) -> list:
 def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                          cache_size: int, workers: int, mp_context,
                          frozen: bool, allow_stale: bool = False,
-                         strategy: str = "auto", executor: str = "auto"):
+                         strategy: str = "auto", executor: str = "auto",
+                         backend: str = "inline",
+                         shard_addrs: Sequence[str] = (),
+                         connect_timeout: float = 5.0,
+                         request_timeout: float = 30.0,
+                         retries: int = 2, retry_backoff_s: float = 0.1,
+                         owner_routing: bool = True):
     from repro.engine.engine import QueryEngine
-    from repro.engine.parallel import InlineShardBackend, ProcessShardBackend
+    from repro.engine.parallel import (
+        InlineShardBackend,
+        ProcessShardBackend,
+        RemoteShardBackend,
+    )
     from repro.graph.partition import GraphSummary, merge_shard_runtimes
 
     # Same staleness contract as the single layout: a sharded artifact
@@ -958,13 +1072,19 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
     if strategy == "auto":
         # One process means in-process scatter only adds coordination
         # overhead; merge the shards back and serve the (vectorized)
-        # sequential executors. Worker processes mean real parallelism.
-        strategy = "scatter" if workers else "sequential"
+        # sequential executors. Worker processes — or a remote fleet —
+        # mean real parallelism.
+        strategy = "scatter" if (workers or backend == "remote") \
+            else "sequential"
     if strategy == "sequential" and workers:
         raise EngineError(
             "strategy='sequential' serves the merged graph in-process; "
             "it is incompatible with workers — drop workers or use "
             "strategy='scatter'")
+    if strategy == "sequential" and backend == "remote":
+        raise EngineError(
+            "strategy='sequential' serves the merged graph in-process; "
+            "it is incompatible with backend='remote'")
     if validate and strategy == "scatter":
         raise EngineError(
             "validate=True is not supported for scatter-gather serving: "
@@ -1014,14 +1134,24 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
         engine.artifact_path = path
         return engine
 
-    if workers:
-        backend = ProcessShardBackend(path, range(num_shards), schema,
-                                      workers=workers,
-                                      mp_context=mp_context)
+    if backend == "remote":
+        shards = RemoteShardBackend(list(shard_addrs), schema,
+                                    artifact_path=path, manifest=manifest,
+                                    connect_timeout=connect_timeout,
+                                    request_timeout=request_timeout,
+                                    retries=retries,
+                                    retry_backoff_s=retry_backoff_s,
+                                    owner_routing=owner_routing)
+    elif workers:
+        shards = ProcessShardBackend(path, range(num_shards), schema,
+                                     workers=workers,
+                                     mp_context=mp_context,
+                                     owner_routing=owner_routing)
     else:
         runtimes = load_shard_runtimes(path, range(num_shards))
-        backend = InlineShardBackend(runtimes, schema)
-    engine = QueryEngine.from_shards(backend, catalog, summary,
+        shards = InlineShardBackend(runtimes, schema,
+                                    owner_routing=owner_routing)
+    engine = QueryEngine.from_shards(shards, catalog, summary,
                                      plan_cache=plan_cache,
                                      cache_size=cache_size)
     engine.artifact_path = path

@@ -216,6 +216,75 @@ class DeadlineExceeded(ServerError):
         super().__init__(message)
 
 
+class ShardError(ServerError):
+    """Base class for remote-shard-fleet failures (see
+    :class:`repro.engine.parallel.RemoteShardBackend` and
+    :mod:`repro.server.shardserver`)."""
+
+
+class ShardUnavailable(ShardError):
+    """Raised when a remote shard server cannot be reached — connect or
+    read timeout, connection refused, or the peer dying mid-round — and
+    the backend's bounded retries are exhausted. Surfaced through the
+    query server as a typed error so clients can distinguish "the fleet
+    is degraded" from "your query is bad".
+
+    Attributes
+    ----------
+    addr:
+        The ``host:port`` of the unreachable shard server, when known.
+    shard_id:
+        The shard the address was serving, when known.
+    attempts:
+        How many connection/request attempts were made before giving up.
+    """
+
+    def __init__(self, message, addr=None, shard_id=None, attempts=None):
+        self.addr = addr
+        self.shard_id = shard_id
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class ShardProtocolError(ShardError):
+    """Raised on a wire-level protocol violation from a shard server:
+    truncated or malformed frames, overlong lines, or a response that
+    does not match the request. Not retried — a peer speaking garbage is
+    a bug or a mismatched deployment, not a transient fault.
+
+    Attributes
+    ----------
+    addr:
+        The ``host:port`` of the misbehaving peer, when known.
+    """
+
+    def __init__(self, message, addr=None):
+        self.addr = addr
+        super().__init__(message)
+
+
+class ShardHandshakeMismatch(ShardError):
+    """Raised when a shard server's handshake disagrees with the
+    front-end: wrong protocol or artifact format version, a manifest
+    checksum that does not match the front-end's root of trust, or a
+    shard id outside the partition. Never retried — the fleet is serving
+    a different artifact than the front-end opened.
+
+    Attributes
+    ----------
+    addr:
+        The ``host:port`` of the disagreeing shard server, when known.
+    found / expected:
+        The mismatched values, when known.
+    """
+
+    def __init__(self, message, addr=None, found=None, expected=None):
+        self.addr = addr
+        self.found = found
+        self.expected = expected
+        super().__init__(message)
+
+
 class MatchTimeout(ReproError):
     """Raised when a matcher exceeds its time budget.
 

@@ -58,22 +58,13 @@ class ServeClient:
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
-        deadline = time.monotonic() + connect_timeout
-        while True:
-            try:
-                self._sock = socket.create_connection((host, port),
-                                                      timeout=timeout)
-                # Request/response over tiny messages: never wait on Nagle.
-                self._sock.setsockopt(socket.IPPROTO_TCP,
-                                      socket.TCP_NODELAY, 1)
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise ServerError(
-                        f"cannot connect to {host}:{port} within "
-                        f"{connect_timeout:g}s — is the server running?"
-                    ) from None
-                time.sleep(0.05)
+        try:
+            self._sock = protocol.connect_retry(
+                host, port, timeout=timeout, connect_timeout=connect_timeout)
+        except OSError:
+            raise ServerError(
+                f"cannot connect to {host}:{port} within "
+                f"{connect_timeout:g}s — is the server running?") from None
         self._file = self._sock.makefile("rb")
 
     # -- plumbing ------------------------------------------------------------
@@ -83,10 +74,10 @@ class ServeClient:
         self._next_id += 1
         doc = {"id": self._next_id, **doc}
         self._sock.sendall(protocol.encode(doc))
-        line = self._file.readline()
-        if not line:
-            raise ServerError("server closed the connection")
-        response = protocol.decode(line)
+        try:
+            response = protocol.read_frame(self._file)
+        except EOFError:
+            raise ServerError("server closed the connection") from None
         if response.get("id") != doc["id"]:
             raise ServerError(
                 f"response id {response.get('id')!r} does not match "

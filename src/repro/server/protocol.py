@@ -1,21 +1,35 @@
-"""Wire protocol of the query service: JSON lines over a byte stream.
+"""The one wire protocol of the serving stack: JSON lines over TCP.
 
 Each request and each response is one JSON object on one ``\\n``-
-terminated line (UTF-8). Requests carry an ``op`` (``query``, ``metrics``,
-``reload``, ``ping``, ``shutdown``) and an optional client-chosen ``id``
-that the response echoes, so a client may pipeline requests.
+terminated line (UTF-8). Requests carry an ``op`` and an optional
+client-chosen ``id`` that the response echoes, so a client may pipeline
+requests. Two services speak it:
+
+* the query server (:mod:`repro.server.server` — ``query``, ``metrics``,
+  ``reload``, ``ping``, ``shutdown``), and
+* the shard server (:mod:`repro.server.shardserver` — ``hello``,
+  ``scatter``, ``extension_stats``, ``extend``, ``ping``, ``metrics``,
+  ``reload``, ``shutdown``).
+
+Both clients (:class:`~repro.server.client.ServeClient` and
+:class:`~repro.engine.parallel.RemoteShardBackend`) share the framing
+and error round-trip here rather than growing a second protocol.
 
 Error responses are typed: ``{"ok": false, "error": "<class>",
 "message": ...}`` plus class-specific fields, where ``<class>`` is the
 name of a :mod:`repro.errors` exception. :func:`error_response` and
 :func:`raise_error` are exact inverses, so the client re-raises the same
 exception type the service raised — the contract the admission-control
-acceptance criterion ("rejected with a typed error") rests on.
+acceptance criterion ("rejected with a typed error") rests on, and the
+path a mid-query :class:`~repro.errors.ShardUnavailable` takes from the
+scatter executor through the query server to the end client.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import time
 
 from repro.errors import (
     AdmissionRejected,
@@ -24,7 +38,16 @@ from repro.errors import (
     ReproError,
     ServerError,
     ServiceOverloaded,
+    ShardHandshakeMismatch,
+    ShardProtocolError,
+    ShardUnavailable,
 )
+
+#: Version of the JSON-lines protocol itself. Bumped on incompatible
+#: framing or op-contract changes; the shard handshake (``hello``)
+#: requires exact agreement so a mixed deployment fails loudly at
+#: connect instead of corrupting answers mid-wave.
+PROTOCOL_VERSION = 1
 
 #: Upper bound on one request/response line; a longer line is a protocol
 #: error (keeps a misbehaving peer from ballooning server memory).
@@ -33,6 +56,10 @@ MAX_LINE_BYTES = 4 * 1024 * 1024
 #: Default TCP port of ``repro serve`` (0x21C2 would be too cute; this is
 #: just an unassigned high port).
 DEFAULT_PORT = 8642
+
+#: Default base TCP port of ``repro shard-serve`` (shard N conventionally
+#: listens on ``DEFAULT_SHARD_PORT + N``).
+DEFAULT_SHARD_PORT = 8650
 
 
 def encode(doc: dict) -> bytes:
@@ -54,6 +81,48 @@ def decode(line: bytes) -> dict:
     return doc
 
 
+def read_frame(file) -> dict:
+    """Read one frame from a buffered binary stream.
+
+    Raises :class:`EOFError` when the peer hung up cleanly *or* mid-line
+    (a truncated frame is indistinguishable from a death between frames,
+    and both are transient faults to a retrying caller), and
+    :class:`ServerError` on overlong or malformed lines (a peer speaking
+    garbage is not transient).
+    """
+    line = file.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        raise EOFError("peer closed the connection")
+    if not line.endswith(b"\n"):
+        if len(line) > MAX_LINE_BYTES:
+            raise ServerError(
+                f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+        raise EOFError("peer closed the connection mid-frame")
+    return decode(line)
+
+
+def connect_retry(host: str, port: int, *, timeout: float,
+                  connect_timeout: float) -> socket.socket:
+    """TCP connect with retry until ``connect_timeout`` elapses — the
+    peer may still be binding when a client races it up (both smoke
+    flows start server and client back to back). The returned socket has
+    ``timeout`` as its I/O timeout and Nagle disabled (request/response
+    over tiny messages never wants to wait on it). Raises
+    :class:`OSError` (the last connect failure) once the deadline
+    passes; callers map it to their typed error.
+    """
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
 def error_response(request_id, exc: Exception) -> dict:
     """Serialize an exception into a typed error response."""
     doc = {"id": request_id, "ok": False,
@@ -66,6 +135,16 @@ def error_response(request_id, exc: Exception) -> dict:
     elif isinstance(exc, NotEffectivelyBounded):
         doc["uncovered_nodes"] = list(exc.uncovered_nodes)
         doc["uncovered_edges"] = [list(edge) for edge in exc.uncovered_edges]
+    elif isinstance(exc, ShardUnavailable):
+        doc["addr"] = exc.addr
+        doc["shard_id"] = exc.shard_id
+        doc["attempts"] = exc.attempts
+    elif isinstance(exc, ShardHandshakeMismatch):
+        doc["addr"] = exc.addr
+        doc["found"] = exc.found
+        doc["expected"] = exc.expected
+    elif isinstance(exc, ShardProtocolError):
+        doc["addr"] = exc.addr
     return doc
 
 
@@ -91,6 +170,16 @@ def raise_error(doc: dict) -> None:
             uncovered_nodes=doc.get("uncovered_nodes", ()),
             uncovered_edges=[tuple(edge)
                              for edge in doc.get("uncovered_edges", ())])
+    if name == "ShardUnavailable":
+        raise ShardUnavailable(message, addr=doc.get("addr"),
+                               shard_id=doc.get("shard_id"),
+                               attempts=doc.get("attempts"))
+    if name == "ShardHandshakeMismatch":
+        raise ShardHandshakeMismatch(message, addr=doc.get("addr"),
+                                     found=doc.get("found"),
+                                     expected=doc.get("expected"))
+    if name == "ShardProtocolError":
+        raise ShardProtocolError(message, addr=doc.get("addr"))
     raise ServerError(f"{name}: {message}")
 
 
@@ -98,3 +187,87 @@ def is_repro_error(exc: Exception) -> bool:
     """True for exceptions safe to serialize to the peer as typed errors
     (anything else is a server bug and is reported opaquely)."""
     return isinstance(exc, ReproError)
+
+
+# ------------------------------------------------------- shard task codecs
+# The scatter-gather task/response tuples (see repro.core.executor) cross
+# the shard-server wire as JSON. JSON has no tuples and no int dict keys,
+# so the codecs below normalize both directions; the decoded shapes are
+# element-for-element identical to what InlineShardBackend produces —
+# answers, G_Q and AccessStats must not be able to tell the backends
+# apart. Both ends share these functions, so a representation change is
+# a single edit (plus a PROTOCOL_VERSION bump).
+
+def encode_task(task: tuple) -> list:
+    """One scatter task as a JSON-safe list (tuples become arrays)."""
+    kind = task[0]
+    if kind == "probe":
+        _, a_nodes, b_nodes = task
+        return ["probe", list(a_nodes), list(b_nodes)]
+    _, cpos, combos = task
+    return [kind, cpos, [list(combo) for combo in combos]]
+
+
+def decode_task(doc) -> tuple:
+    """Inverse of :func:`encode_task`; shard-side index lookups key on
+    tuples, so combos re-tuple-ify here."""
+    try:
+        kind = doc[0]
+        if kind == "probe":
+            return ("probe", [int(v) for v in doc[1]],
+                    [int(v) for v in doc[2]])
+        if kind in ("fetch", "edge"):
+            return (kind, int(doc[1]),
+                    [tuple(int(v) for v in combo) for combo in doc[2]])
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ServerError(f"malformed shard task: {exc}") from exc
+    raise ServerError(f"unknown shard task kind {doc[:1]!r}")
+
+
+def encode_shard_response(kind: str, response) -> list:
+    """One task's shard-local response as a JSON-safe value."""
+    if kind == "fetch":
+        payloads, info = response
+        return [[list(p) for p in payloads],
+                [[v, label, value] for v, (label, value) in info.items()]]
+    if kind == "edge":
+        return [[[w, [list(pair) for pair in flags]] for w, flags in entries]
+                for entries in response]
+    checked, found = response
+    return [checked, [list(pair) for pair in found]]
+
+
+def decode_shard_response(kind: str, doc):
+    """Inverse of :func:`encode_shard_response`, restoring the exact
+    in-memory shapes the scatter executor merges: int node ids, tuple
+    edge flags, hashable probe pairs."""
+    try:
+        if kind == "fetch":
+            payloads, info = doc
+            return ([[int(v) for v in p] for p in payloads],
+                    {int(v): (label, value) for v, label, value in info})
+        if kind == "edge":
+            return [[(int(w), tuple((bool(f), bool(b)) for f, b in flags))
+                     for w, flags in entries] for entries in doc]
+        checked, found = doc
+        return int(checked), [(int(a), int(b)) for a, b in found]
+    except (TypeError, ValueError) as exc:
+        raise ServerError(f"malformed shard response: {exc}") from exc
+
+
+def encode_extension_stats(stats: tuple) -> dict:
+    """A shard's ``(label counts, neighbour bounds)`` pair; the bounds
+    dict keys on label *pairs*, which JSON objects cannot."""
+    counts, bounds = stats
+    return {"counts": dict(counts),
+            "bounds": [[a, b, n] for (a, b), n in bounds.items()]}
+
+
+def decode_extension_stats(doc: dict) -> tuple:
+    try:
+        counts = {str(label): int(n)
+                  for label, n in doc.get("counts", {}).items()}
+        bounds = {(a, b): int(n) for a, b, n in doc.get("bounds", ())}
+    except (TypeError, ValueError) as exc:
+        raise ServerError(f"malformed extension stats: {exc}") from exc
+    return counts, bounds

@@ -133,6 +133,10 @@ class QueryService:
         # of the current engine so a sharded -> single -> sharded reload
         # chain restores the pool instead of silently dropping it.
         self._exec_workers = engine.exec_workers
+        # Likewise the remote-fleet configuration: a session opened with
+        # backend="remote" must reload back onto the same fleet (see
+        # reload_artifact for the two-phase order).
+        self._remote_config = self._capture_remote_config(engine)
         self.max_cost = max_cost
         self.workers = workers
         self.max_batch = max_batch
@@ -375,6 +379,21 @@ class QueryService:
                              for pair in pairs[:max(request.limit, 0)]]
         return body
 
+    @staticmethod
+    def _capture_remote_config(engine: QueryEngine) -> dict | None:
+        """Fleet settings of a remote-backed session, if it is one."""
+        from repro.engine.parallel import RemoteShardBackend
+
+        backend = getattr(engine, "_shards", None)
+        if not isinstance(backend, RemoteShardBackend):
+            return None
+        return {"shard_addrs": list(backend.shard_addrs),
+                "connect_timeout": backend.connect_timeout,
+                "request_timeout": backend.request_timeout,
+                "retries": backend.retries,
+                "retry_backoff_s": backend.retry_backoff_s,
+                "owner_routing": backend.router is not None}
+
     # -- hot reload ----------------------------------------------------------
     def reload_artifact(self, path, *, validate: bool = False) -> dict:
         """Swap serving onto a newly compiled artifact without dropping
@@ -387,17 +406,36 @@ class QueryService:
         Raises the usual artifact errors
         (:class:`~repro.errors.ArtifactCorrupt`, ...) and leaves the old
         engine serving when the load fails.
+
+        A remote-backed session reloads in two phases: first every shard
+        server is told to re-read its shard from disk
+        (:meth:`~repro.engine.parallel.RemoteShardBackend.reload_fleet`),
+        then the front-end re-opens and re-handshakes against the
+        reloaded fleet — the reverse order would fail the checksum
+        handshake against still-stale servers.
         """
         from repro.engine.persist import artifact_layout
 
-        # The configured worker-process count applies whenever the
-        # target is sharded; a single-layout target opens inline (a
-        # reload must stay total across layout transitions) without
-        # forgetting the configuration.
-        workers = self._exec_workers \
-            if artifact_layout(path) == "sharded" else 0
-        engine = QueryEngine.open_path(path, frozen=True, validate=validate,
-                                       workers=workers)
+        sharded = artifact_layout(path) == "sharded"
+        if self._remote_config is not None and sharded:
+            from repro.engine.parallel import RemoteShardBackend
+
+            current = getattr(self._engine, "_shards", None)
+            if isinstance(current, RemoteShardBackend):
+                current.reload_fleet()
+            engine = QueryEngine.open_path(path, frozen=True,
+                                           validate=validate,
+                                           backend="remote",
+                                           **self._remote_config)
+        else:
+            # The configured worker-process count applies whenever the
+            # target is sharded; a single-layout target opens inline (a
+            # reload must stay total across layout transitions) without
+            # forgetting the configuration.
+            workers = self._exec_workers if sharded else 0
+            engine = QueryEngine.open_path(path, frozen=True,
+                                           validate=validate,
+                                           workers=workers)
         to_close = None
         with self._engine_lock:
             old = self._engine

@@ -202,6 +202,7 @@ class TestCheckRegressionShardMetrics:
                  [{"mode": "serve_concurrent", "qps": 1.0,
                    "speedup_vs_prepared": 1.0}]),
                 ("shard", [{"mode": "sequential", "qps": 1.0}]),
+                ("remote", []),
                 ("extension", []),
         ):
             (results / f"{name}.json").write_text(
@@ -209,5 +210,8 @@ class TestCheckRegressionShardMetrics:
         metrics = current_metrics(results)
         assert metrics["shard"]["answers_identical"] is None
         assert metrics["shard"]["inline_qps"] is None
+        # An empty remote.json degrades the same way.
+        assert metrics["remote"]["answers_identical"] is None
+        assert metrics["remote"]["scatter_reduction"] is None
         rows = compare({"shard": {"answers_identical": 1.0}}, metrics)
         assert rows[0]["ok"] is False  # missing fails the gate loudly
