@@ -3,7 +3,8 @@
 Compares the JSON emitted by ``benchmarks/bench_engine_throughput.py``,
 ``benchmarks/bench_kernels.py``, ``benchmarks/bench_warm_start.py``,
 ``benchmarks/bench_serve.py``, ``benchmarks/bench_shard.py``,
-``benchmarks/bench_remote.py`` and ``benchmarks/bench_extension.py``
+``benchmarks/bench_remote.py``, ``benchmarks/bench_extension.py`` and
+``benchmarks/bench_obs.py``
 (under ``.benchmarks/``) against the committed floors in
 ``benchmarks/baselines.json`` and exits non-zero when any metric drops
 more than ``TOLERANCE`` below its baseline.
@@ -64,6 +65,8 @@ def current_metrics(results_dir: Path) -> dict:
     remote_by_mode = {row["mode"]: row for row in remote_rows}
     extension = _load(results_dir / "extension.json")
     extension_rows = extension.get("rows", [])
+    obs = _load(results_dir / "obs.json")
+    obs_by_mode = {row["mode"]: row for row in obs.get("rows", [])}
     shard_rows = [row for row in shard["rows"] if row["mode"] == "sharded"]
     shard_by_workers = {row["workers"]: row for row in shard_rows}
     top_workers = max(shard_by_workers, default=0)
@@ -125,6 +128,14 @@ def current_metrics(results_dir: Path) -> dict:
             "rescued_qps":
                 (min(extension_rows, key=lambda r: r["m"])["rescued_qps"]
                  if extension_rows else None),
+        },
+        # The observability gate: tracing-disabled prepared qps as a
+        # fraction of the uninstrumented reference (machine-relative —
+        # both sides measured in the same process on the same data).
+        "obs": {
+            "disabled_overhead_ratio":
+                (obs_by_mode["tracing_disabled"]["disabled_overhead_ratio"]
+                 if "tracing_disabled" in obs_by_mode else None),
         },
     }
 

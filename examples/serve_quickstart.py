@@ -82,13 +82,9 @@ def main() -> None:
                           f"budget {exc.budget:g} "
                           f"(typed {type(exc).__name__})")
 
-                # 3c. Live metrics.
-                snapshot = client.metrics()
-                print(f"\nmetrics: answered={snapshot['answered']} "
-                      f"rejected={snapshot['rejected']['over_budget']} "
-                      f"p50={snapshot['latency_ms']['p50']:.2f} ms "
-                      f"cache_hit_rate="
-                      f"{snapshot['plan_cache']['hit_rate']:.2f}")
+                # 3c. Live metrics — same table `repro metrics` prints.
+                from repro.obs import render_metrics_table
+                print("\n" + render_metrics_table(client.metrics()))
 
                 # 3d. Hot reload: recompile and swap without downtime.
                 compiler.save(artifact)

@@ -23,6 +23,7 @@ from repro.bench.harness import (
     fig5_varying_q,
     fig6_instance_bounded,
     kernel_speedup,
+    obs_overhead,
     remote_fleet,
     serve_load,
     shard_scaling,
@@ -51,6 +52,7 @@ __all__ = [
     "fig5_varying_q",
     "fig6_instance_bounded",
     "kernel_speedup",
+    "obs_overhead",
     "remote_fleet",
     "serve_load",
     "shard_scaling",

@@ -763,6 +763,105 @@ def serve_load(dataset: str = "imdb", scale: float = 0.05,
     return rows
 
 
+# -------------------------------------------------- observability overhead
+def obs_overhead(dataset: str = "imdb", scale: float = 0.05,
+                 distinct: int = 8, requests: int = 400, rounds: int = 3,
+                 semantics: str = SUBGRAPH, artifact: str | None = None,
+                 seed: int = 42) -> list[dict]:
+    """The tracing overhead contract, measured: prepared-serving qps
+    with instrumentation stubbed out entirely (``no_obs``), with the
+    shipped instrumentation but no recorder (``tracing_disabled`` — the
+    default every session runs), and with a recorder plus an active
+    root span per request (``tracing_enabled``).
+
+    The committed gate is ``disabled_overhead_ratio`` =
+    disabled qps / no-obs qps: the disabled path costs one ContextVar
+    read per instrumentation point and must stay within a few percent
+    of uninstrumented code (``benchmarks/bench_obs.py`` asserts
+    >= 0.95 in-script; CI's floor lives in ``baselines.json``).
+    ``enabled_overhead_ratio`` is informational — tracing every request
+    is a debugging posture, not the default.
+
+    Each mode runs ``rounds`` loops of ``requests`` prepared queries
+    (``refresh=True``: every request pays a real execution) and keeps
+    the best loop, which suppresses scheduler noise that would swamp a
+    single-digit-percent comparison.
+    """
+    from repro.core import executor as executor_module
+    from repro.engine import engine as engine_module
+    from repro.obs.trace import TraceRecorder, activate
+
+    graph, schema = get_dataset(dataset, scale)
+    pool = get_workload(dataset, scale, count=200, seed=seed)
+    bounded = _bounded_queries(pool, schema, semantics, limit=distinct)
+    if not bounded:
+        raise BenchmarkError(f"no bounded queries for {dataset}@{scale}")
+
+    engine = connect(artifact) if artifact is not None \
+        else connect((graph, schema))
+    for query in bounded:
+        engine.prepare(query, semantics)
+
+    def measure(run_query) -> float:
+        best_qps = 0.0
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for i in range(requests):
+                run_query(bounded[i % len(bounded)])
+            elapsed = time.perf_counter() - start
+            best_qps = max(best_qps, requests / elapsed)
+        return best_qps
+
+    def plain(query) -> None:
+        engine.query(query, semantics, refresh=True)
+
+    # no_obs: the instrumented modules' child_span swapped for a null
+    # context manager with no ContextVar read — as close to deleting
+    # the instrumentation as one process gets.
+    class _NullChildSpan:
+        def __init__(self, name, **attrs):
+            pass
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *exc_info):
+            return None
+
+    saved = (engine_module.child_span, executor_module.child_span)
+    engine_module.child_span = _NullChildSpan
+    executor_module.child_span = _NullChildSpan
+    try:
+        no_obs_qps = measure(plain)
+    finally:
+        engine_module.child_span, executor_module.child_span = saved
+
+    disabled_qps = measure(plain)
+
+    recorder = TraceRecorder(max_traces=8)
+
+    def traced(query) -> None:
+        root = recorder.trace("bench")
+        with activate(root):
+            engine.query(query, semantics, refresh=True)
+        root.trace.finish()
+
+    enabled_qps = measure(traced)
+    spans_per_query = len(recorder.recent()[-1].spans)
+
+    common = {"requests": requests, "rounds": rounds,
+              "distinct": len(bounded)}
+    return [
+        {"mode": "no_obs", "qps": no_obs_qps, **common},
+        {"mode": "tracing_disabled", "qps": disabled_qps,
+         "disabled_overhead_ratio": disabled_qps / no_obs_qps, **common},
+        {"mode": "tracing_enabled", "qps": enabled_qps,
+         "enabled_overhead_ratio": enabled_qps / no_obs_qps,
+         "spans_per_query": spans_per_query,
+         "traces_finished": recorder.traces_finished, **common},
+    ]
+
+
 # -------------------------------------------------- extension rescue
 def extension_rescue(dataset: str = "imdb", scale: float = 0.05,
                      distinct: int = 8, repeats: int = 20,

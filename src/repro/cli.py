@@ -15,7 +15,11 @@ Subcommands::
     repro serve    --artifact art/ [--port 8642] [--workers 4]
                    [--max-cost 50000] [--extend-budget M]
                    [--shard-addrs host:8650,host:8651]   # remote fleet
+                   [--metrics-port 9642] [--trace]
+                   [--slow-query-ms 50] [--log-format json]
     repro shard-serve --artifact art/shard-0000 [--port 8650]
+                   [--log-format json]
+    repro metrics  [host:8642] [--json]                  # live snapshot
     repro bench    --experiment exp1 [--experiment ...] [--dataset imdb]
                    [--scale 0.05] [--artifact art/]
 
@@ -251,10 +255,43 @@ def _parse_shard_addrs(values) -> list[str]:
     return addrs
 
 
+def _parse_addr(value: str) -> tuple[str, int]:
+    """``host:port`` / bare port / bare host -> ``(host, port)``."""
+    from repro.server import protocol
+
+    if ":" in value:
+        host, _, port = value.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    if value.isdigit():
+        return "127.0.0.1", int(value)
+    return value, protocol.DEFAULT_PORT
+
+
+def _cmd_metrics(args) -> int:
+    """One ``metrics`` round-trip against a running ``repro serve``,
+    rendered as an aligned table (or raw JSON with ``--json``)."""
+    import json
+
+    from repro.obs.report import render_metrics_table
+    from repro.server.client import ServeClient
+
+    host, port = _parse_addr(args.addr)
+    with ServeClient(host, port,
+                     connect_timeout=args.connect_timeout) as client:
+        snapshot = client.metrics()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(f"metrics for {host}:{port}")
+        print(render_metrics_table(snapshot))
+    return 0
+
+
 def _cmd_shard_serve(args) -> int:
     from repro.server import shardserver
 
-    argv = ["--artifact", args.artifact, "--host", args.host]
+    argv = ["--artifact", args.artifact, "--host", args.host,
+            "--log-format", args.log_format]
     if args.shard_id is not None:
         argv += ["--shard-id", str(args.shard_id)]
     if args.port is not None:
@@ -273,8 +310,10 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
+    from repro.obs import TraceRecorder, setup_logging
     from repro.server import QueryServer, QueryService
 
+    setup_logging(args.log_format)
     shard_addrs = _parse_shard_addrs(args.shard_addrs)
     if args.artifact:
         engine = connect(args.artifact, validate=args.validate,
@@ -298,16 +337,27 @@ def _cmd_serve(args) -> int:
         print("serve requires --artifact, --graph and --schema, or "
               "--dataset", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace or args.slow_query_ms is not None:
+        tracer = TraceRecorder(slow_ms=args.slow_query_ms)
     service = QueryService(engine, max_cost=args.max_cost,
                            workers=args.workers, max_batch=args.max_batch,
                            batch_window_ms=args.batch_window_ms,
                            max_queue=args.max_queue,
                            extend_budget=args.extend_budget,
-                           extend_max_added=args.extend_max_added)
+                           extend_max_added=args.extend_max_added,
+                           tracer=tracer)
 
     async def _serve() -> None:
         server = QueryServer(service, host=args.host, port=args.port)
         await server.start()
+        metrics_http = None
+        if args.metrics_port is not None:
+            from repro.obs import MetricsHTTPServer
+            metrics_http = MetricsHTTPServer(
+                lambda: service.snapshot(queue_depth=server.queue_depth),
+                host=args.host, port=args.metrics_port,
+                recorder=tracer).start()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -318,13 +368,20 @@ def _cmd_serve(args) -> int:
             else f"{args.max_cost:g}"
         extend = "off" if args.extend_budget is None \
             else f"M={args.extend_budget}"
+        scrape = "" if metrics_http is None \
+            else f", metrics=http://{args.host}:{metrics_http.port}/metrics"
         print(f"serving on {server.host}:{server.port} "
               f"(workers={service.workers}, "
               f"exec-workers={engine.exec_workers}, max-cost={budget}, "
-              f"extend={extend}, schema=v{engine.schema_version}, "
+              f"extend={extend}, trace={'on' if tracer else 'off'}, "
+              f"schema=v{engine.schema_version}, "
               f"graph={engine.graph.num_nodes} nodes "
-              f"{engine.graph.num_edges} edges)", flush=True)
-        await server.serve_until_shutdown()
+              f"{engine.graph.num_edges} edges{scrape})", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            if metrics_http is not None:
+                metrics_http.stop()
 
     try:
         asyncio.run(_serve())
@@ -375,6 +432,7 @@ def _cmd_bench(args) -> int:
         fig5_varying_g,
         fig5_varying_q,
         fig6_instance_bounded,
+        obs_overhead,
         remote_fleet,
         render_table,
         serve_load,
@@ -396,6 +454,7 @@ def _cmd_bench(args) -> int:
         "warm-start": warm_start,
         "serve-load": serve_load,
         "shard-scaling": shard_scaling,
+        "obs-overhead": obs_overhead,
     }
     experiments = args.experiment
     known = {"exp1", "exp3", *per_dataset, *artifact_aware}
@@ -556,6 +615,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "one comma-separated list); serves scatter "
                               "waves from the fleet instead of local "
                               "shards (requires a sharded --artifact)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="expose a Prometheus scrape endpoint on "
+                              "this HTTP port (0 binds an ephemeral one; "
+                              "GET /metrics, plus /slow with --trace)")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="record one span tree per request "
+                              "(admission -> queue -> batch -> waves -> "
+                              "per-shard RPCs); answers are unaffected")
+    p_serve.add_argument("--slow-query-ms", type=float, default=None,
+                         help="log traced requests slower than this to "
+                              "the repro.slowquery logger (implies "
+                              "--trace)")
+    p_serve.add_argument("--log-format", choices=("text", "json"),
+                         default="text",
+                         help="structured stderr logging; json emits one "
+                              "object per line with trace_id stamped")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_shard = sub.add_parser(
@@ -569,7 +644,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--host", default="127.0.0.1")
     p_shard.add_argument("--port", type=int, default=None,
                          help="TCP port (default: 8650 + shard id)")
+    p_shard.add_argument("--log-format", choices=("text", "json"),
+                         default="text",
+                         help="structured stderr logging for the shard "
+                              "server")
     p_shard.set_defaults(func=_cmd_shard_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="fetch and pretty-print a running server's metrics snapshot")
+    p_metrics.add_argument("addr", nargs="?", default="127.0.0.1:8642",
+                           help="host:port of the front-end server "
+                                "(default 127.0.0.1:8642)")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="print the raw snapshot JSON instead of "
+                                "the table")
+    p_metrics.add_argument("--connect-timeout", type=float, default=5.0)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_gen = sub.add_parser("generate", help="emit a synthetic dataset")
     p_gen.add_argument("--dataset", required=True)
@@ -589,7 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
                               " | fig5-varying-a | fig5-index-size"
                               " | fig6-instance | engine-throughput"
                               " | warm-start | serve-load | shard-scaling"
-                              " | remote-fleet | extension-rescue; "
+                              " | remote-fleet | extension-rescue"
+                              " | obs-overhead; "
                               "repeatable — experiments in one invocation "
                               "share one dataset build")
     p_bench.add_argument("--dataset", default="imdb")

@@ -53,6 +53,7 @@ from repro.constraints.index import SchemaIndex
 from repro.core.plan import EDGE_VIA_INDEX, EDGE_VIA_PROBE, QueryPlan
 from repro.errors import PlanError, UnverifiableEdge
 from repro.graph.graph import Graph
+from repro.obs.trace import child_span
 
 #: Executor edge-phase modes.
 MODE_PLAN = "plan"      # follow the plan's edge checks (default)
@@ -527,6 +528,7 @@ def execute_plans_scatter(plans: list[QueryPlan], backend,
     router = getattr(backend, "router", None)
     exes = [_ScatterExecution(plan, constraint_pos, stats, edge_mode)
             for plan, stats in zip(plans, stats_list)]
+    wave_index = 0
     while True:
         wave: list[tuple[_ScatterExecution, tuple]] = []
         for exe in exes:
@@ -542,9 +544,11 @@ def execute_plans_scatter(plans: list[QueryPlan], backend,
                              for constraint, pos in constraint_pos.items()}
             shard_sets = [_route_task(task, router, target_by_pos)
                           for task in tasks]
-        responses = backend.scatter(tasks, shard_sets)
-        for i, (exe, task) in enumerate(wave):
-            exe.deliver(task, [shard[i] for shard in responses])
+        with child_span("wave", index=wave_index, tasks=len(tasks)):
+            responses = backend.scatter(tasks, shard_sets)
+            for i, (exe, task) in enumerate(wave):
+                exe.deliver(task, [shard[i] for shard in responses])
+        wave_index += 1
     return [exe.result() for exe in exes]
 
 

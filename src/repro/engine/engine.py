@@ -64,6 +64,7 @@ from repro.graph.graph import Graph, GraphView
 from repro.matching.bounded import BoundedRun
 from repro.matching.simulation import simulate
 from repro.matching.vf2 import find_matches
+from repro.obs.trace import child_span
 
 
 @dataclass
@@ -175,12 +176,13 @@ class PreparedQuery:
 
     def _finish_run(self, execution: ExecutionResult) -> BoundedRun:
         """Match inside ``G_Q`` and memoize the answer."""
-        if self.semantics == SUBGRAPH:
-            answer = find_matches(self.pattern, execution.gq,
+        with child_span("match", semantics=self.semantics):
+            if self.semantics == SUBGRAPH:
+                answer = find_matches(self.pattern, execution.gq,
+                                      candidates=execution.candidates)
+            else:
+                answer = simulate(self.pattern, execution.gq,
                                   candidates=execution.candidates)
-        else:
-            answer = simulate(self.pattern, execution.gq,
-                              candidates=execution.candidates)
         run = BoundedRun(answer=answer, execution=execution)
         self._run = run
         self._run_generation = self.engine.generation
@@ -555,8 +557,11 @@ class QueryEngine:
                               f"expected one of {SEMANTICS}")
         key, order = pattern_fingerprint(pattern)
         cache_key = (key, semantics)
-        entry = self._cache.get(cache_key,
-                                validate=lambda e: e.usable_by(self._catalog))
+        with child_span("plan_cache_lookup") as lookup:
+            entry = self._cache.get(
+                cache_key, validate=lambda e: e.usable_by(self._catalog))
+            if lookup is not None:
+                lookup.set(hit=entry is not None)
         if entry is not None:
             with self._stats_lock:
                 self.stats.record_cache_hit()
@@ -571,7 +576,8 @@ class QueryEngine:
         schema = self.schema
         version = self._catalog.version
         try:
-            plan = generate_plan(pattern, schema, semantics)
+            with child_span("compile"):
+                plan = generate_plan(pattern, schema, semantics)
         except NotEffectivelyBounded as exc:
             self._cache.put(cache_key, _CacheEntry(
                 order=order, schema=schema, version=version,
@@ -676,9 +682,11 @@ class QueryEngine:
                 to_execute.append((run_key, prepared))
         if to_execute:
             stats_list = [AccessStats() for _ in to_execute]
-            executions = execute_plans_scatter(
-                [prepared.plan for _, prepared in to_execute],
-                self._shards, stats_list=stats_list)
+            with child_span("execute", strategy="scatter",
+                            plans=len(to_execute)):
+                executions = execute_plans_scatter(
+                    [prepared.plan for _, prepared in to_execute],
+                    self._shards, stats_list=stats_list)
             for (run_key, prepared), execution, run_stats in zip(
                     to_execute, executions, stats_list):
                 runs[run_key] = prepared._finish_run(execution)
@@ -791,17 +799,23 @@ class QueryEngine:
         shard backend. Answers and accounting are identical either way
         (see :mod:`repro.core.executor`)."""
         if self._shards is not None:
-            return execute_plans_scatter(plans, self._shards,
-                                         stats_list=stats_list,
-                                         edge_mode=edge_mode)
+            with child_span("execute", strategy="scatter",
+                            plans=len(plans)):
+                return execute_plans_scatter(plans, self._shards,
+                                             stats_list=stats_list,
+                                             edge_mode=edge_mode)
         if self._executor == "vectorized":
             from repro.core.kernels import execute_plan_vectorized
-            return [execute_plan_vectorized(plan, self._schema_index,
-                                            stats=stats, edge_mode=edge_mode)
+            with child_span("execute", strategy="vectorized",
+                            plans=len(plans)):
+                return [execute_plan_vectorized(plan, self._schema_index,
+                                                stats=stats,
+                                                edge_mode=edge_mode)
+                        for plan, stats in zip(plans, stats_list)]
+        with child_span("execute", strategy="sequential", plans=len(plans)):
+            return [execute_plan(plan, self._schema_index, stats=stats,
+                                 edge_mode=edge_mode)
                     for plan, stats in zip(plans, stats_list)]
-        return [execute_plan(plan, self._schema_index, stats=stats,
-                             edge_mode=edge_mode)
-                for plan, stats in zip(plans, stats_list)]
 
     def _account(self, run_stats: AccessStats,
                  caller_stats: AccessStats | None) -> None:

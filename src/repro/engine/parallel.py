@@ -69,6 +69,7 @@ from repro.errors import (
     ShardUnavailable,
 )
 from repro.graph.frozen import FrozenGraph
+from repro.obs.trace import current_span
 
 
 class ShardRuntime:
@@ -787,13 +788,18 @@ class RemoteShardBackend(ShardBackend):
                        "constraints": list(self._applied_extensions)})
 
     def _retry_request(self, conn: _ShardConn, doc: dict,
-                       first_error: Exception) -> dict:
+                       first_error: Exception, span=None) -> dict:
         """Bounded retry with backoff after a transient fault; raises
-        :class:`~repro.errors.ShardUnavailable` once exhausted."""
+        :class:`~repro.errors.ShardUnavailable` once exhausted. ``span``
+        is the round's per-shard RPC span, which accumulates the retry
+        and reconnect counts the trace reports."""
         last = first_error
         for attempt in range(self.retries):
             time.sleep(self.retry_backoff_s * (2 ** attempt))
             try:
+                if span is not None:
+                    span.set(retries=attempt + 1,
+                             reconnects=span.attrs.get("reconnects", 0) + 1)
                 self._reconnect(conn)
                 return conn.call(doc)
             except _TRANSIENT as exc:
@@ -814,48 +820,78 @@ class RemoteShardBackend(ShardBackend):
         path; rounds serialize under the backend lock. Every pending
         response is drained before any error is raised (each shard sends
         exactly one response per round, and leaving one queued would
-        desynchronize the next round's connections)."""
-        with self._lock:
-            if self._closed:
-                raise EngineError("remote shard backend is closed")
-            results: dict[int, dict] = {}
-            errors: list[Exception] = []
-            pending: list[tuple[int, int]] = []
+        desynchronize the next round's connections).
+
+        With a span active in the calling context, each participating
+        shard gets a ``shard_rpc`` child span and its request carries the
+        trace context as the optional ``trace`` wire field — the shard
+        server stamps its request log with the same trace id and reports
+        its server-side time back as ``server_ms``."""
+        parent = current_span()
+        spans: dict[int, object] = {}
+        if parent is not None:
+            from repro.server import protocol
+
+            traced: dict[int, dict] = {}
             for shard_id, doc in messages.items():
-                conn = self._conns[shard_id]
-                try:
-                    if conn.sock is None:
-                        self._reconnect(conn)
-                    pending.append((shard_id, conn.send(doc)))
-                except _TRANSIENT as exc:
+                span = parent.child("shard_rpc", shard=shard_id,
+                                    addr=self._conns[shard_id].addr,
+                                    rpc=str(doc.get("op")))
+                spans[shard_id] = span
+                traced[shard_id] = {**doc,
+                                    "trace": protocol.encode_trace(span)}
+            messages = traced
+        results: dict[int, dict] = {}
+        try:
+            with self._lock:
+                if self._closed:
+                    raise EngineError("remote shard backend is closed")
+                errors: list[Exception] = []
+                pending: list[tuple[int, int]] = []
+                for shard_id, doc in messages.items():
+                    conn = self._conns[shard_id]
                     try:
-                        results[shard_id] = self._retry_request(conn, doc,
-                                                                exc)
-                    except ReproError as final:
-                        errors.append(final)
-                except ReproError as exc:  # e.g. handshake disagreement
-                    errors.append(exc)
-            for shard_id, request_id in pending:
-                conn = self._conns[shard_id]
-                try:
-                    results[shard_id] = conn.recv(request_id)
-                except _TRANSIENT as exc:
-                    conn.close()
+                        if conn.sock is None:
+                            self._reconnect(conn)
+                        pending.append((shard_id, conn.send(doc)))
+                    except _TRANSIENT as exc:
+                        try:
+                            results[shard_id] = self._retry_request(
+                                conn, doc, exc, span=spans.get(shard_id))
+                        except ReproError as final:
+                            errors.append(final)
+                    except ReproError as exc:  # e.g. handshake disagreement
+                        errors.append(exc)
+                for shard_id, request_id in pending:
+                    conn = self._conns[shard_id]
                     try:
-                        results[shard_id] = self._retry_request(
-                            conn, messages[shard_id], exc)
-                    except ReproError as final:
-                        errors.append(final)
-                except ShardProtocolError as exc:
-                    # The stream is desynchronized — force a fresh
-                    # connection before this shard is used again.
-                    conn.close()
-                    errors.append(exc)
-                except ReproError as exc:  # typed server-side error;
-                    errors.append(exc)     # the connection stays in sync
-            if errors:
-                raise errors[0]
-            return results
+                        results[shard_id] = conn.recv(request_id)
+                    except _TRANSIENT as exc:
+                        conn.close()
+                        try:
+                            results[shard_id] = self._retry_request(
+                                conn, messages[shard_id], exc,
+                                span=spans.get(shard_id))
+                        except ReproError as final:
+                            errors.append(final)
+                    except ShardProtocolError as exc:
+                        # The stream is desynchronized — force a fresh
+                        # connection before this shard is used again.
+                        conn.close()
+                        errors.append(exc)
+                    except ReproError as exc:
+                        # Typed server-side error; the connection stays
+                        # in sync.
+                        errors.append(exc)
+                if errors:
+                    raise errors[0]
+                return results
+        finally:
+            for shard_id, span in spans.items():
+                result = results.get(shard_id)
+                if isinstance(result, dict) and "server_ms" in result:
+                    span.set(server_ms=result["server_ms"])
+                span.end()
 
     # -- contract -------------------------------------------------------------
     @property

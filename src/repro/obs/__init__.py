@@ -1,0 +1,40 @@
+"""Observability: distributed tracing, fleet telemetry, and export.
+
+Three small pieces, one contract (see DESIGN.md § Observability):
+
+* :mod:`repro.obs.trace` — span trees over the request path, propagated
+  in-process via ``contextvars`` and across the shard wire as a
+  ``trace`` field; near-zero-cost when no recorder is installed.
+* :mod:`repro.obs.promexport` — Prometheus text rendering of the
+  ``metrics`` snapshot plus the scrape endpoint behind
+  ``repro serve --metrics-port``.
+* :mod:`repro.obs.logs` — structured (text/JSON) logging under the
+  ``repro.*`` namespace with trace ids stamped on request-scoped lines.
+"""
+
+from repro.obs.logs import setup_logging
+from repro.obs.promexport import MetricsHTTPServer, render_prometheus
+from repro.obs.report import render_metrics_table
+from repro.obs.trace import (
+    Span,
+    Trace,
+    TraceRecorder,
+    activate,
+    bind,
+    child_span,
+    current_span,
+)
+
+__all__ = [
+    "MetricsHTTPServer",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "activate",
+    "bind",
+    "child_span",
+    "current_span",
+    "render_metrics_table",
+    "render_prometheus",
+    "setup_logging",
+]

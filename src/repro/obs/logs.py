@@ -1,0 +1,84 @@
+"""Structured logging for the serving stack.
+
+Every server-side component logs under the one ``repro`` namespace
+(``repro.server``, ``repro.shardserver``, ``repro.slowquery``, ...).
+:func:`setup_logging` configures that namespace once per process —
+``repro serve --log-format json`` and ``repro shard-serve --log-format
+json`` call it — and installs a filter that stamps the active trace id
+(:func:`repro.obs.trace.current_span`) on every record, so request-scoped
+log lines from the event loop, worker threads, and the slow-query dump
+all correlate with the span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from repro.obs.trace import current_span
+
+
+class TraceIdFilter(logging.Filter):
+    """Stamp ``record.trace_id`` from the context-active span ('-' when
+    the log line is not request-scoped)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        span = current_span()
+        record.trace_id = span.trace_id if span is not None else "-"
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace_id."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                  time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", "-")
+        if trace_id != "-":
+            doc["trace_id"] = trace_id
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, separators=(",", ":"))
+
+
+TEXT_FORMAT = "%(asctime)s %(levelname)s %(name)s [%(trace_id)s] %(message)s"
+
+
+def setup_logging(fmt: str = "text", *, level: int = logging.INFO,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for serving.
+
+    Idempotent per process: reconfigures (rather than stacks) the
+    handler, so tests and ``serve`` + ``shard-serve`` in one process
+    behave. Returns the root ``repro`` logger.
+    """
+    if fmt not in ("text", "json"):
+        raise ValueError(f"log format must be 'text' or 'json', got {fmt!r}")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(TEXT_FORMAT,
+                                               datefmt="%H:%M:%S"))
+    handler.addFilter(TraceIdFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+__all__ = ["JsonFormatter", "TraceIdFilter", "setup_logging"]

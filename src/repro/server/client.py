@@ -240,13 +240,8 @@ def main(argv: list[str] | None = None) -> int:
     with ServeClient(args.host, args.port,
                      connect_timeout=args.connect_timeout) as client:
         if args.metrics:
-            snapshot = client.metrics()
-            rejected = snapshot["rejected"]
-            print(f"server: answered={snapshot['answered']} "
-                  f"qps={snapshot['qps']:.0f} "
-                  f"mean_batch={snapshot['mean_batch_size']:.2f} "
-                  f"cache_hit_rate={snapshot['plan_cache']['hit_rate']:.2f} "
-                  f"rejected={sum(rejected.values())}")
+            from repro.obs.report import render_metrics_table
+            print(render_metrics_table(client.metrics()))
         if args.shutdown:
             client.shutdown()
             print("server shutdown requested")

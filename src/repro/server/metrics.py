@@ -17,6 +17,17 @@ from repro.util.percentiles import summarize
 #: Samples kept for latency percentiles and the recent-qps estimate.
 WINDOW = 2048
 
+#: Age of the newest window sample beyond which ``recent_qps`` reports 0
+#: instead of extrapolating stale traffic (a long-idle service is not
+#: "still serving" the rate it saw an hour ago).
+RECENT_STALE_S = 60.0
+
+#: Upper edges of the bound-utilization histogram (actual accesses /
+#: admitted worst-case bound). Deciles up to 1.0 plus an overflow bucket:
+#: a sound bound means the overflow bucket stays empty.
+BOUND_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+                 float("inf"))
+
 
 class ServerMetrics:
     """Thread-safe counters for one :class:`~repro.server.service.QueryService`."""
@@ -24,8 +35,15 @@ class ServerMetrics:
     def __init__(self, window: int = WINDOW):
         self._lock = threading.Lock()
         self._started = time.monotonic()
+        self._window = window
         self._latencies: deque[float] = deque(maxlen=window)
         self._finished_at: deque[float] = deque(maxlen=window)
+        self._bound_buckets = [0] * len(BOUND_BUCKETS)
+        self.bound_samples = 0
+        self.bound_sum = 0
+        self.actual_sum = 0
+        self.bound_utilization_sum = 0.0
+        self.bound_violations = 0
         self.requests = 0
         self.admitted = 0
         self.answered = 0
@@ -98,6 +116,25 @@ class ServerMetrics:
         with self._lock:
             self.rescue_failed += 1
 
+    def record_bound(self, bound: int, actual: int) -> None:
+        """Bound telemetry for one answered query: ``bound`` is the
+        admission-time worst-case access bound (the paper's promise),
+        ``actual`` the :class:`~repro.accounting.AccessStats` total the
+        execution really touched. Utilization > 1.0 means the bound was
+        violated — a soundness bug, counted loudly."""
+        utilization = (actual / bound) if bound > 0 else 1.0
+        with self._lock:
+            self.bound_samples += 1
+            self.bound_sum += bound
+            self.actual_sum += actual
+            self.bound_utilization_sum += utilization
+            if actual > bound:
+                self.bound_violations += 1
+            for i, le in enumerate(BOUND_BUCKETS):
+                if utilization <= le:
+                    self._bound_buckets[i] += 1
+                    break
+
     # -- reading -------------------------------------------------------------
     def snapshot(self) -> dict:
         """One JSON-serializable dict with everything the ``metrics`` op
@@ -111,6 +148,21 @@ class ServerMetrics:
             rejected = {"over_budget": self.rejected_over_budget,
                         "overloaded": self.rejected_overloaded,
                         "unbounded": self.rejected_unbounded}
+            bound_utilization = {
+                "samples": self.bound_samples,
+                "bound_sum": self.bound_sum,
+                "actual_sum": self.actual_sum,
+                "utilization_sum": self.bound_utilization_sum,
+                "violations": self.bound_violations,
+                "mean_utilization": (self.bound_utilization_sum
+                                     / self.bound_samples
+                                     if self.bound_samples else 0.0),
+                # The +Inf bucket serializes as "+Inf": float("inf") is
+                # not strict JSON and would break non-Python consumers.
+                "buckets": [[le if le != float("inf") else "+Inf", n]
+                            for le, n
+                            in zip(BOUND_BUCKETS, self._bound_buckets)],
+            }
             counters = {
                 "requests": self.requests,
                 "admitted": self.admitted,
@@ -125,9 +177,13 @@ class ServerMetrics:
                 "rescued_constraints": self.rescued_constraints,
             }
         # Recent qps over the retained window; falls back to lifetime qps
-        # while the window spans the whole life of the service.
+        # while the window spans the whole life of the service. A window
+        # whose newest sample is stale reports 0 — a long-idle service is
+        # not still serving its historical rate.
         recent_qps = 0.0
-        if len(finished) >= 2 and finished[-1] > finished[0]:
+        if finished and now - finished[-1] > RECENT_STALE_S:
+            recent_qps = 0.0
+        elif len(finished) >= 2 and finished[-1] > finished[0]:
             recent_qps = (len(finished) - 1) / (finished[-1] - finished[0])
         elif finished and uptime > 0:
             recent_qps = len(finished) / uptime
@@ -146,6 +202,8 @@ class ServerMetrics:
             "uptime_s": uptime,
             "qps": (counters["answered"] / uptime) if uptime > 0 else 0.0,
             "recent_qps": recent_qps,
+            "window_size": self._window,
+            "bound_utilization": bound_utilization,
             "mean_batch_size": (counters["batched_requests"]
                                 / counters["batches"]
                                 if counters["batches"] else 0.0),

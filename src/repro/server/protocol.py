@@ -183,6 +183,29 @@ def raise_error(doc: dict) -> None:
     raise ServerError(f"{name}: {message}")
 
 
+def encode_trace(span) -> dict:
+    """The trace-context wire field: ``{"trace_id", "span_id"}``.
+
+    An *optional, additive* request field — a peer that predates it
+    ignores unknown keys, so PROTOCOL_VERSION stays unbumped. Carried on
+    shard-server requests so a front-end span tree and the shard's
+    request log share one trace id (see :mod:`repro.obs.trace`).
+    """
+    return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+
+def decode_trace(doc: dict) -> dict | None:
+    """The trace context of a request, or ``None`` when absent or
+    malformed (tracing must never fail a query)."""
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    if not isinstance(trace_id, str):
+        return None
+    return {"trace_id": trace_id, "span_id": trace.get("span_id")}
+
+
 def is_repro_error(exc: Exception) -> bool:
     """True for exceptions safe to serialize to the peer as typed errors
     (anything else is a server bug and is reported opaquely)."""

@@ -34,6 +34,7 @@ from repro.errors import (
     ServerError,
     ServiceOverloaded,
 )
+from repro.obs.trace import Span, activate, bind
 from repro.server import protocol
 from repro.server.service import AdmittedQuery, QueryService
 
@@ -50,6 +51,7 @@ class _QueueItem:
     admitted_at: float
     expires_at: float | None  # loop-clock deadline, None = no deadline
     deadline_ms: float | None
+    queue_span: Span | None = None  # open "queue_wait", ended at pop
 
 
 class QueryServer:
@@ -83,6 +85,12 @@ class QueryServer:
         if self._server is None or not self._server.sockets:
             return self._requested_port
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def queue_depth(self) -> int:
+        """Live queued-request count (0 before :meth:`start`); what the
+        metrics scrape endpoint reports without entering the loop."""
+        return self._queue.qsize() if self._queue is not None else 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
@@ -222,45 +230,75 @@ class QueryServer:
                                                        (int, float))
                                         or isinstance(deadline_ms, bool)):
             raise ServerError("'deadline_ms' must be a number")
+        # One trace per request when tracing is on: the root span opens
+        # at arrival and every instrumented stage below hangs off it.
+        root = None
+        if self.service.tracer is not None:
+            root = self.service.tracer.trace(
+                "request", semantics=semantics,
+                pattern=pattern if len(pattern) <= 120
+                else pattern[:117] + "...")
         try:
-            admitted = self.service.admit(pattern, semantics, limit=limit)
-        except NotEffectivelyBounded:
-            if not self.service.can_rescue:
-                raise
-            # The rescue pipeline: this coroutine parks right here while
-            # the extension plans and builds on the executor (off the
-            # event loop — admission of other requests keeps flowing).
-            # On success the query re-admits and proceeds like any
-            # other; on failure the typed rejection propagates.
-            admitted = await self._loop.run_in_executor(
-                None, self.service.rescue, pattern, semantics, limit)
-        now = self._loop.time()
-        item = _QueueItem(
-            request=admitted, future=self._loop.create_future(),
-            admitted_at=now,
-            expires_at=(now + deadline_ms / 1000.0)
-            if deadline_ms is not None else None,
-            deadline_ms=deadline_ms)
-        try:
-            self._queue.put_nowait(item)
-        except asyncio.QueueFull:
-            self.service.metrics.record_rejected("overloaded")
-            raise ServiceOverloaded(
-                f"request queue at capacity ({self.service.max_queue}); "
-                f"retry with backoff",
-                cost=self._queue.qsize(), budget=self.service.max_queue
-            ) from None
-        try:
-            body = await item.future
-        except DeadlineExceeded as exc:
-            self.service.metrics.record_deadline_expired()
+            try:
+                with activate(root):
+                    admitted = self.service.admit(pattern, semantics,
+                                                  limit=limit)
+            except NotEffectivelyBounded:
+                if not self.service.can_rescue:
+                    raise
+                # The rescue pipeline: this coroutine parks right here
+                # while the extension plans and builds on the executor
+                # (off the event loop — admission of other requests
+                # keeps flowing). On success the query re-admits and
+                # proceeds like any other; on failure the typed
+                # rejection propagates. ``bind`` carries the trace onto
+                # the executor thread.
+                admitted = await self._loop.run_in_executor(
+                    None, bind(root, self.service.rescue),
+                    pattern, semantics, limit)
+            admitted.span = root
+            now = self._loop.time()
+            item = _QueueItem(
+                request=admitted, future=self._loop.create_future(),
+                admitted_at=now,
+                expires_at=(now + deadline_ms / 1000.0)
+                if deadline_ms is not None else None,
+                deadline_ms=deadline_ms)
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self.service.metrics.record_rejected("overloaded")
+                raise ServiceOverloaded(
+                    f"request queue at capacity ({self.service.max_queue});"
+                    f" retry with backoff",
+                    cost=self._queue.qsize(), budget=self.service.max_queue
+                ) from None
+            # Safe after put_nowait: the batcher cannot pop the item
+            # until this coroutine yields at the await below.
+            if root is not None:
+                item.queue_span = root.child("queue_wait")
+            try:
+                body = await item.future
+            except DeadlineExceeded as exc:
+                self.service.metrics.record_deadline_expired()
+                if root is not None:
+                    root.set(status="deadline_expired")
+                await self._write(writer, write_lock,
+                                  protocol.error_response(request_id, exc))
+                return
+            if root is not None:
+                root.set(status="answered")
+            self.service.metrics.record_answered(self._loop.time()
+                                                 - item.admitted_at)
             await self._write(writer, write_lock,
-                              protocol.error_response(request_id, exc))
-            return
-        self.service.metrics.record_answered(self._loop.time()
-                                             - item.admitted_at)
-        await self._write(writer, write_lock,
-                          {"id": request_id, "ok": True, **body})
+                              {"id": request_id, "ok": True, **body})
+        except Exception as exc:
+            if root is not None:
+                root.set(status="rejected", error=type(exc).__name__)
+            raise
+        finally:
+            if root is not None:
+                root.trace.finish()
 
     async def _write(self, writer: asyncio.StreamWriter,
                      write_lock: asyncio.Lock, doc: dict) -> None:
@@ -277,6 +315,12 @@ class QueryServer:
             await self._dispatch_slots.acquire()
             item = await self._queue.get()
             self._forming = 1
+            if item.queue_span is not None:
+                item.queue_span.end()
+            # Batch assembly measured on the first traced request's
+            # trace: first pop to dispatch.
+            assembly = (item.request.span.child("batch_assembly")
+                        if item.request.span is not None else None)
             batch = [item]
             while len(batch) < self.service.max_batch:
                 try:
@@ -292,6 +336,9 @@ class QueryServer:
                         self._forming += 1
                     except asyncio.TimeoutError:
                         break
+            for queued in batch[1:]:
+                if queued.queue_span is not None:
+                    queued.queue_span.end()
             live = []
             now = self._loop.time()
             for queued in batch:
@@ -301,6 +348,8 @@ class QueryServer:
                         f"while queued", deadline_ms=queued.deadline_ms))
                 else:
                     live.append(queued)
+            if assembly is not None:
+                assembly.set(size=len(live)).end()
             if not live:
                 self._forming = 0
                 self._dispatch_slots.release()

@@ -49,6 +49,7 @@ from repro.errors import (
     ServerError,
 )
 from repro.matching.simulation import relation_pairs
+from repro.obs.trace import Span, TraceRecorder, activate, child_span
 from repro.pattern.dsl import parse_pattern
 from repro.pattern.pattern import Pattern
 from repro.server.metrics import ServerMetrics
@@ -69,6 +70,10 @@ class AdmittedQuery:
     cost: float
     prepared: PreparedQuery = field(repr=False)
     limit: int = 10
+    #: The request's root span when tracing is on (the explicit hand-off
+    #: across the event-loop -> worker-thread boundary, which does not
+    #: propagate contextvars).
+    span: Span | None = field(default=None, repr=False, compare=False)
 
 
 class QueryService:
@@ -107,13 +112,20 @@ class QueryService:
     extend_max_added:
         Size cap on one rescue's extension: more added constraints than
         this fails the rescue instead of ballooning the index set.
+    tracer:
+        A :class:`~repro.obs.trace.TraceRecorder`; the front-end roots a
+        span tree per request and the instrumented path (admission,
+        queue, batches, waves, shard RPCs, rescues) hangs children off
+        it. ``None`` (default) disables tracing — every instrumentation
+        point no-ops and answers/accounting are byte-identical.
     """
 
     def __init__(self, engine: QueryEngine, *, max_cost: float | None = None,
                  workers: int = 4, max_batch: int = 32,
                  batch_window_ms: float = 0.0, max_queue: int = 256,
                  answer_limit: int = 10, extend_budget: int | None = None,
-                 extend_max_added: int | None = None):
+                 extend_max_added: int | None = None,
+                 tracer: TraceRecorder | None = None):
         if not engine.frozen:
             raise ServerError(
                 "QueryService requires a frozen engine session (the "
@@ -156,6 +168,7 @@ class QueryService:
         # later generation invalidates the entry — the schema that grew
         # may now rescue it.
         self._rescue_failures = PlanCache(maxsize=512)
+        self.tracer = tracer
         self.metrics = ServerMetrics()
         # Admission parse cache: serving traffic repeats a handful of
         # query texts, so the DSL parse is paid once per text, not per
@@ -182,17 +195,22 @@ class QueryService:
         nothing touches the data graph.
         """
         self.metrics.record_request()
-        if isinstance(pattern, str):
-            pattern = self._parse(pattern)
-        if semantics not in SEMANTICS:
-            raise ServerError(f"unknown semantics {semantics!r}; "
-                              f"expected one of {sorted(SEMANTICS)}")
-        try:
-            prepared = self.engine.prepare(pattern, semantics)
-        except NotEffectivelyBounded:
-            self.metrics.record_rejected("unbounded")
-            raise
-        return self._finish_admission(prepared, pattern, semantics, limit)
+        with child_span("admission", semantics=semantics) as span:
+            if isinstance(pattern, str):
+                pattern = self._parse(pattern)
+            if semantics not in SEMANTICS:
+                raise ServerError(f"unknown semantics {semantics!r}; "
+                                  f"expected one of {sorted(SEMANTICS)}")
+            try:
+                prepared = self.engine.prepare(pattern, semantics)
+            except NotEffectivelyBounded:
+                self.metrics.record_rejected("unbounded")
+                raise
+            admitted = self._finish_admission(prepared, pattern, semantics,
+                                              limit)
+            if span is not None:
+                span.set(cost=admitted.cost)
+            return admitted
 
     def _finish_admission(self, prepared: PreparedQuery, pattern: Pattern,
                           semantics: str, limit: int | None) -> AdmittedQuery:
@@ -253,7 +271,8 @@ class QueryService:
                 f"not effectively bounded, and not rescuable within "
                 f"extend-budget {self.extend_budget} (cached verdict at "
                 f"schema v{failed_at})")
-        with self._rescue_lock:
+        with self._rescue_lock, child_span("rescue",
+                                           budget=self.extend_budget) as rsp:
             engine = self.engine
             try:
                 prepared = engine.prepare(pattern, semantics)
@@ -263,18 +282,24 @@ class QueryService:
                 admitted = self._finish_admission(prepared, pattern,
                                                   semantics, limit)
                 self.metrics.record_rescued(0)
+                if rsp is not None:
+                    rsp.set(constraints_added=0, piggybacked=True)
                 return admitted
             except NotEffectivelyBounded:
                 pass
             try:
-                plan = plan_extension(engine, [pattern], m=self.extend_budget,
-                                      semantics=semantics,
-                                      max_added=self.extend_max_added)
-                report = engine.extend_schema(
-                    plan.added,
-                    provenance={"origin": "rescue", "m": plan.m,
-                                "query": pattern.name or "query",
-                                "semantics": semantics})
+                with child_span("plan_extension"):
+                    plan = plan_extension(engine, [pattern],
+                                          m=self.extend_budget,
+                                          semantics=semantics,
+                                          max_added=self.extend_max_added)
+                with child_span("extend_schema",
+                                added=len(plan.added)):
+                    report = engine.extend_schema(
+                        plan.added,
+                        provenance={"origin": "rescue", "m": plan.m,
+                                    "query": pattern.name or "query",
+                                    "semantics": semantics})
             except ExtensionError as exc:
                 self._rescue_failures.put(failure_key,
                                           engine.schema_version)
@@ -290,6 +315,9 @@ class QueryService:
             admitted = self._finish_admission(prepared, pattern, semantics,
                                               limit)
             self.metrics.record_rescued(len(report.added))
+            if rsp is not None:
+                rsp.set(constraints_added=len(report.added),
+                        schema_version=engine.schema_version)
             return admitted
 
     def _parse(self, text: str) -> Pattern:
@@ -312,15 +340,27 @@ class QueryService:
         """
         engine = self._acquire_engine()
         self.metrics.record_batch(len(requests))
+        # Tracing crosses the thread boundary explicitly: the first
+        # traced request's root span hosts the batch span (and the wave
+        # and shard-RPC spans execution emits under it); batch-mates
+        # riding the same execution link to it by trace id.
+        primary = next((r.span for r in requests if r.span is not None), None)
         try:
-            try:
-                runs = engine.query_batch(
-                    [(r.pattern, r.semantics) for r in requests])
-                return [self._serialize_safe(request, run)
-                        for request, run in zip(requests, runs)]
-            except ReproError:
-                return [self._execute_one(engine, request)
-                        for request in requests]
+            with activate(primary), \
+                    child_span("batch", size=len(requests)) as bsp:
+                if bsp is not None:
+                    for request in requests:
+                        if request.span is not None \
+                                and request.span.trace is not primary.trace:
+                            request.span.set(batched_into=primary.trace_id)
+                try:
+                    runs = engine.query_batch(
+                        [(r.pattern, r.semantics) for r in requests])
+                    return [self._serialize_safe(request, run)
+                            for request, run in zip(requests, runs)]
+                except ReproError:
+                    return [self._execute_one(engine, request)
+                            for request in requests]
         finally:
             self._release_engine(engine)
 
@@ -364,6 +404,13 @@ class QueryService:
     def _serialize(self, request: AdmittedQuery, run) -> dict:
         """JSON body for one answered query (the ``id``/``ok`` envelope
         and latency accounting belong to the front-end)."""
+        # Bound telemetry: the admitted worst-case bound vs what this
+        # execution actually touched — the tightness of the paper's
+        # promise, per answered query, tracing on or off.
+        self.metrics.record_bound(request.cost, run.stats.total_accessed)
+        if request.span is not None:
+            request.span.set(bound=request.cost,
+                             accessed=run.stats.total_accessed)
         body = {"semantics": request.semantics, "cost": request.cost,
                 "accessed": run.stats.total_accessed}
         if request.semantics == SUBGRAPH:
@@ -476,9 +523,15 @@ class QueryService:
     # -- inspection ----------------------------------------------------------
     def snapshot(self, queue_depth: int = 0) -> dict:
         """The ``metrics`` endpoint payload: live counters + latency
-        percentiles + engine/cache context."""
+        percentiles + engine/cache context — plus, on a sharded session,
+        the backend's scatter accounting, and on a remote fleet the
+        per-shard server snapshots gathered over the wire (so one
+        ``metrics`` call observes the whole topology)."""
         engine = self.engine
         doc = self.metrics.snapshot()
+        doc.update(self._fleet_snapshot(engine))
+        if self.tracer is not None:
+            doc["tracing"] = self.tracer.snapshot()
         cache = engine.cache_info()
         lookups = cache["hits"] + cache["misses"]
         doc.update({
@@ -503,4 +556,33 @@ class QueryService:
                        "artifact": (str(engine.artifact_path)
                                     if engine.artifact_path else None)},
         })
+        return doc
+
+    @staticmethod
+    def _fleet_snapshot(engine: QueryEngine) -> dict:
+        """Backend scatter accounting, plus per-shard server snapshots
+        fanned out over the wire when the backend is remote. A shard
+        whose metrics round fails degrades to an error entry — telemetry
+        must never take the service down with it."""
+        from repro.engine.parallel import RemoteShardBackend, ShardBackend
+
+        backend = getattr(engine, "_shards", None)
+        if not isinstance(backend, ShardBackend):
+            return {}
+        doc: dict = {"backend": {
+            "kind": type(backend).__name__,
+            "num_shards": backend.num_shards,
+            "workers": backend.workers,
+            "owner_routing": backend.router is not None,
+            "scatter_rounds": backend.scatter_rounds,
+            "tasks_scattered": backend.tasks_scattered,
+            "scatter_messages": backend.scatter_messages,
+            "scatter_messages_broadcast": backend.scatter_messages_broadcast,
+        }}
+        if isinstance(backend, RemoteShardBackend):
+            doc["backend"]["reconnects"] = backend.reconnects
+            try:
+                doc["shards"] = backend.shard_metrics()
+            except ReproError as exc:
+                doc["shards"] = [{"error": f"{type(exc).__name__}: {exc}"}]
         return doc

@@ -26,6 +26,7 @@ while ``extend``/``reload`` serialize under a lock.
 from __future__ import annotations
 
 import hashlib
+import logging
 import re
 import socketserver
 import threading
@@ -35,6 +36,8 @@ from pathlib import Path
 from repro.constraints.schema import AccessConstraint
 from repro.errors import EngineError, ServerError, ShardHandshakeMismatch
 from repro.server import protocol
+
+_log = logging.getLogger("repro.shardserver")
 
 _SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
 
@@ -81,6 +84,10 @@ class ShardServer:
         self.tasks_handled = 0
         self.extensions_applied = 0
         self.reloads = 0
+        #: Requests that arrived carrying a front-end trace context.
+        self.traced_requests = 0
+        #: Cumulative wall time spent executing scatter rounds.
+        self.scatter_seconds = 0.0
         self._load()
 
     # -- state ----------------------------------------------------------------
@@ -160,6 +167,22 @@ class ShardServer:
 
     # -- dispatch -------------------------------------------------------------
     def dispatch(self, doc: dict) -> dict:
+        trace = protocol.decode_trace(doc)
+        if trace is None:
+            return self._dispatch(doc)
+        # A traced request: time the op server-side and report it back
+        # as ``server_ms`` so the front-end's shard_rpc span can split
+        # network wait from shard work; the shard's own log line carries
+        # the same trace id the front-end span tree does.
+        self.traced_requests += 1
+        t0 = time.perf_counter()
+        response = self._dispatch(doc)
+        server_ms = (time.perf_counter() - t0) * 1000.0
+        _log.debug("shard %d %s trace=%s %.2f ms", self.shard_id,
+                   doc.get("op"), trace["trace_id"], server_ms)
+        return {**response, "server_ms": round(server_ms, 3)}
+
+    def _dispatch(self, doc: dict) -> dict:
         op = doc.get("op")
         self.requests += 1
         if op == "hello":
@@ -209,6 +232,7 @@ class ShardServer:
         }
 
     def _op_scatter(self, doc: dict) -> dict:
+        t0 = time.perf_counter()
         tasks = [protocol.decode_task(item)
                  for item in doc.get("tasks", ())]
         runtime = self.runtime  # one snapshot for the whole round
@@ -217,6 +241,7 @@ class ShardServer:
                      for task in tasks]
         self.scatter_rounds += 1
         self.tasks_handled += len(tasks)
+        self.scatter_seconds += time.perf_counter() - t0
         return {"responses": responses}
 
     def _op_extend(self, doc: dict) -> dict:
@@ -239,6 +264,8 @@ class ShardServer:
             "tasks_handled": self.tasks_handled,
             "extensions_applied": self.extensions_applied,
             "reloads": self.reloads,
+            "traced_requests": self.traced_requests,
+            "scatter_seconds": round(self.scatter_seconds, 6),
             "uptime_s": time.monotonic() - self._started,
         }
 
@@ -319,13 +346,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int,
                         default=protocol.DEFAULT_SHARD_PORT)
+    parser.add_argument("--log-format", choices=("text", "json"),
+                        default="text",
+                        help="structured log format for the repro.* "
+                             "logger namespace (default: text)")
     args = parser.parse_args(argv)
 
+    from repro.obs.logs import setup_logging
+    setup_logging(args.log_format)
     server = ShardServer(args.artifact, host=args.host, port=args.port,
                          shard_id=args.shard_id)
     server.start()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: server.request_stop())
+    # The start/stop lines stay on stdout: the smoke flows (and any
+    # process supervisor) watch for them regardless of log format.
     print(f"shard {server.shard_id} serving {server.root} on "
           f"{server.address} (schema v{server.schema_version})",
           flush=True)

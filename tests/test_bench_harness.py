@@ -204,14 +204,16 @@ class TestCheckRegressionShardMetrics:
                 ("shard", [{"mode": "sequential", "qps": 1.0}]),
                 ("remote", []),
                 ("extension", []),
+                ("obs", []),
         ):
             (results / f"{name}.json").write_text(
                 json.dumps({"rows": rows}), encoding="utf-8")
         metrics = current_metrics(results)
         assert metrics["shard"]["answers_identical"] is None
         assert metrics["shard"]["inline_qps"] is None
-        # An empty remote.json degrades the same way.
+        # Empty remote.json / obs.json degrade the same way.
         assert metrics["remote"]["answers_identical"] is None
         assert metrics["remote"]["scatter_reduction"] is None
+        assert metrics["obs"]["disabled_overhead_ratio"] is None
         rows = compare({"shard": {"answers_identical": 1.0}}, metrics)
         assert rows[0]["ok"] is False  # missing fails the gate loudly
