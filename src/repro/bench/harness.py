@@ -543,20 +543,26 @@ def remote_fleet(dataset: str = "imdb", scale: float = 0.05,
     (every label's nodes concentrated on one shard — the cover owner
     routing rewards), starts one in-process
     :class:`~repro.server.shardserver.ShardServer` per shard, and serves
-    the same workload three ways:
+    the same workload four ways:
 
     * ``inline`` — shards in-process (the reference for identity);
-    * ``remote_routed`` — the TCP fleet with owner routing on;
-    * ``remote_broadcast`` — the TCP fleet with owner routing off
-      (every task to every shard — the pre-routing wire cost).
+    * ``remote_routed`` — the TCP fleet with owner routing on and the
+      negotiated (binary, when numpy is present) wire codec;
+    * ``remote_json`` — owner routing on, codec forced to JSON-lines
+      (isolates the codec's share of the wire win);
+    * ``remote_broadcast`` — owner routing off *and* JSON-lines (every
+      task to every shard in the compatibility codec — the full
+      pre-optimization wire cost).
 
-    The headline metric is ``scatter_reduction``: broadcast messages /
-    routed messages for the identical workload. It is a *message-count*
-    ratio, not a wall-clock one — deterministic on any machine — and is
-    what ``benchmarks/check_regression.py`` gates on (absolute remote
-    qps over loopback says little about a real network). Identity
-    (answers, ``G_Q``, ``AccessStats``) against the inline backend is
-    asserted per row via the canonical answer form.
+    The headline metrics are ``scatter_reduction`` (broadcast messages /
+    routed messages) and ``wire_bytes_reduction`` (broadcast-JSON bytes
+    on the wire / routed-binary bytes, reported on the
+    ``remote_routed`` row). Both are deterministic counts, not
+    wall-clock ratios — which is what ``benchmarks/check_regression.py``
+    gates on (absolute remote qps over loopback says little about a
+    real network). Identity (answers, ``G_Q``, ``AccessStats``) against
+    the inline backend is asserted per row via the canonical answer
+    form.
     """
     import os
     import tempfile
@@ -624,9 +630,13 @@ def remote_fleet(dataset: str = "imdb", scale: float = 0.05,
                 ("inline", {"strategy": "scatter"}),
                 ("remote_routed", {"backend": "remote",
                                    "shard_addrs": addrs}),
+                ("remote_json", {"backend": "remote",
+                                 "shard_addrs": addrs,
+                                 "wire_format": "json"}),
                 ("remote_broadcast", {"backend": "remote",
                                       "shard_addrs": addrs,
-                                      "owner_routing": False})):
+                                      "owner_routing": False,
+                                      "wire_format": "json"})):
             with connect(artifact, **opts) as engine:
                 answers, served, seconds = evaluate(engine)
                 backend = engine._shards
@@ -634,7 +644,7 @@ def remote_fleet(dataset: str = "imdb", scale: float = 0.05,
                     reference = answers
                 routed = backend.scatter_messages
                 broadcast = backend.scatter_messages_broadcast
-                rows.append({
+                row = {
                     "mode": mode, "shards": shards,
                     "requests": served, "seconds": seconds,
                     "qps": served / seconds if seconds else 0.0,
@@ -645,7 +655,28 @@ def remote_fleet(dataset: str = "imdb", scale: float = 0.05,
                     "scatter_reduction": (broadcast / routed
                                           if routed else None),
                     "cpu_count": cpu_count,
-                })
+                }
+                if mode != "inline":
+                    wire = backend.wire_stats()
+                    row["wire_codec"] = backend.wire_codec
+                    row["wire_bytes_sent"] = sum(
+                        s["bytes_sent"] for s in wire)
+                    row["wire_bytes_received"] = sum(
+                        s["bytes_received"] for s in wire)
+                    row["wire_bytes_total"] = (row["wire_bytes_sent"]
+                                               + row["wire_bytes_received"])
+                    row["encode_ms"] = round(
+                        sum(s["encode_ms"] for s in wire), 3)
+                rows.append(row)
+    # The headline wire win: broadcast-JSON bytes vs owner-routed bytes
+    # in the negotiated codec, for the identical workload.
+    by_mode = {row["mode"]: row for row in rows}
+    routed_row = by_mode.get("remote_routed")
+    broadcast_row = by_mode.get("remote_broadcast")
+    if routed_row and broadcast_row and routed_row.get("wire_bytes_total"):
+        routed_row["wire_bytes_reduction"] = (
+            broadcast_row["wire_bytes_total"]
+            / routed_row["wire_bytes_total"])
     return rows
 
 

@@ -33,10 +33,11 @@ Three implementations live here:
   both work; CI smokes ``spawn`` on Python 3.12, the strictest mode).
 * :class:`RemoteShardBackend` — shards held by standalone ``repro
   shard-serve`` processes (:mod:`repro.server.shardserver`), reached
-  over the JSON-lines protocol of :mod:`repro.server.protocol`. The
-  front-end holds no graph at all; it multiplexes one wave's tasks per
-  connection round, with connect/read timeouts, bounded retry with
-  backoff on transient faults, and typed
+  over the wire protocol of :mod:`repro.server.protocol` (packed binary
+  frames when the hello handshake negotiates them, JSON lines
+  otherwise). The front-end holds no graph at all; it multiplexes one
+  wave's tasks per connection round, with connect/read timeouts,
+  bounded retry with backoff on transient faults, and typed
   :class:`~repro.errors.ShardUnavailable` errors once retries exhaust.
 
 Thread safety: ``scatter`` takes an internal lock for the duration of a
@@ -51,6 +52,7 @@ from __future__ import annotations
 
 import abc
 import atexit
+import json
 import multiprocessing
 import pickle
 import threading
@@ -574,16 +576,71 @@ def parse_shard_addr(addr: str) -> tuple[str, int]:
                           f"port") from None
 
 
+class _ScatterEncoder:
+    """Encode-once cache for one scatter round's task bytes.
+
+    A broadcast (or any routing that sends one task list to several
+    shards) used to re-encode the identical task list per shard; this
+    caches the heavy parts — the JSON ``tasks`` array fragment, or the
+    binary ``tasks_meta`` fragment plus the packed payload section —
+    keyed by (codec, task-index tuple), and splices the tiny per-shard
+    envelope (``id``, ``op``, ``trace``) around the cached bytes at send
+    time. Encoding cost is therefore paid once per *distinct* task list,
+    not once per shard.
+    """
+
+    __slots__ = ("tasks", "_json", "_binary")
+
+    def __init__(self, tasks: list[tuple]):
+        self.tasks = tasks
+        self._json: dict[tuple, bytes] = {}
+        self._binary: dict[tuple, tuple[bytes, bytes]] = {}
+
+    def _json_fragment(self, key: tuple) -> bytes:
+        fragment = self._json.get(key)
+        if fragment is None:
+            from repro.server import protocol
+            fragment = json.dumps(
+                [protocol.encode_task(self.tasks[i]) for i in key],
+                separators=(",", ":")).encode("utf-8")
+            self._json[key] = fragment
+        return fragment
+
+    def _binary_parts(self, key: tuple) -> tuple[bytes, bytes]:
+        parts = self._binary.get(key)
+        if parts is None:
+            from repro.server import protocol
+            metas, buffers = protocol.encode_tasks_binary(
+                [self.tasks[i] for i in key])
+            parts = (json.dumps(metas, separators=(",", ":")).encode(),
+                     protocol.encode_payload(buffers))
+            self._binary[key] = parts
+        return parts
+
+    def encode(self, codec: str, key: tuple, envelope: dict) -> bytes:
+        """One shard's complete scatter frame bytes."""
+        from repro.server import protocol
+        head = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+        if codec == protocol.CODEC_BINARY:
+            metas, payload = self._binary_parts(key)
+            header = head[:-1] + b',"tasks_meta":' + metas + b"}"
+            return protocol.binary_frame(header, payload)
+        return head[:-1] + b',"tasks":' + self._json_fragment(key) + b"}\n"
+
+
 class _ShardConn:
     """One front-end connection to one ``repro shard-serve`` process.
 
     Not thread-safe on its own — :class:`RemoteShardBackend` serializes
     rounds under its lock. ``sock is None`` means "currently
     disconnected"; the backend reconnects (and re-handshakes) on demand.
+    The wire counters (bytes each way, encode seconds) persist across
+    reconnects — they describe the shard's slot, not one socket.
     """
 
     __slots__ = ("addr", "host", "port", "sock", "file", "shard_id",
-                 "next_id")
+                 "next_id", "codec", "bytes_sent", "bytes_received",
+                 "encode_s")
 
     def __init__(self, addr: str):
         self.addr = addr
@@ -592,17 +649,37 @@ class _ShardConn:
         self.file = None
         self.shard_id: int | None = None
         self.next_id = 0
+        self.codec: str | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.encode_s = 0.0
 
     def send(self, doc: dict) -> int:
         from repro.server import protocol
         self.next_id += 1
-        doc = {"id": self.next_id, **doc}
-        self.sock.sendall(protocol.encode(doc))
+        scatter = doc.get("_scatter")
+        started = time.perf_counter()
+        if scatter is not None:
+            encoder, key = scatter
+            envelope = {"id": self.next_id,
+                        **{k: v for k, v in doc.items() if k != "_scatter"}}
+            data = encoder.encode(self.codec or protocol.CODEC_JSON, key,
+                                  envelope)
+        else:
+            data = protocol.encode({"id": self.next_id, **doc})
+        self.encode_s += time.perf_counter() - started
+        self.sock.sendall(data)
+        self.bytes_sent += len(data)
         return self.next_id
 
     def recv(self, request_id: int) -> dict:
         from repro.server import protocol
-        response = protocol.read_frame(self.file)
+        try:
+            response = protocol.read_frame(self.file)
+        except ShardProtocolError as exc:
+            raise ShardProtocolError(f"shard {self.addr}: {exc}",
+                                     addr=self.addr) from None
+        self.bytes_received += response.nbytes
         if response.get("id") != request_id:
             raise ShardProtocolError(
                 f"shard {self.addr}: response id {response.get('id')!r} "
@@ -659,10 +736,16 @@ class RemoteShardBackend(ShardBackend):
                  connect_timeout: float = 5.0,
                  request_timeout: float = 30.0,
                  retries: int = 2, retry_backoff_s: float = 0.1,
-                 owner_routing: bool = True):
+                 owner_routing: bool = True, wire_format: str = "auto"):
         from repro.engine import persist
+        from repro.server import protocol
 
         super().__init__(schema)
+        if wire_format not in protocol.WIRE_FORMATS:
+            raise EngineError(
+                f"wire_format must be one of {protocol.WIRE_FORMATS}, "
+                f"got {wire_format!r}")
+        self.wire_format = wire_format
         self._artifact_path = artifact_path
         if manifest is None:
             manifest = persist.read_sharded_manifest(artifact_path)
@@ -742,6 +825,7 @@ class RemoteShardBackend(ShardBackend):
                 "op": "hello",
                 "protocol": protocol.PROTOCOL_VERSION,
                 "format_version": self._expected["format_version"],
+                "codecs": protocol.supported_codecs(self.wire_format),
             })
         except _TRANSIENT as exc:
             conn.close()
@@ -774,6 +858,26 @@ class RemoteShardBackend(ShardBackend):
                 f"shard {shard_id} (manifest checksum mismatch); "
                 f"re-deploy the fleet from this artifact", addr=conn.addr,
                 found=hello.get("manifest_sha256"), expected=expected_sha)
+        codec = hello.get("codec") or protocol.CODEC_JSON
+        if codec not in protocol.supported_codecs(self.wire_format):
+            conn.close()
+            raise ShardHandshakeMismatch(
+                f"shard server {conn.addr} negotiated codec {codec!r}, "
+                f"which this front-end (wire_format={self.wire_format!r}) "
+                f"does not speak", addr=conn.addr, found=codec,
+                expected=protocol.supported_codecs(self.wire_format))
+        if self.wire_format == "binary" and protocol.binary_supported() \
+                and codec != protocol.CODEC_BINARY:
+            # "binary" is a demand, not a preference: a JSON-only server
+            # is a deployment mismatch, not something to paper over.
+            conn.close()
+            raise ShardHandshakeMismatch(
+                f"shard server {conn.addr} cannot speak the binary codec "
+                f"this front-end requires (wire_format='binary'); "
+                f"upgrade the server or use --wire-format auto",
+                addr=conn.addr, found=codec,
+                expected=[protocol.CODEC_BINARY])
+        conn.codec = codec
         conn.shard_id = shard_id
         return hello
 
@@ -903,38 +1007,54 @@ class RemoteShardBackend(ShardBackend):
         from repro.server import protocol
 
         self._record_round(tasks, shard_sets)
+        # One encoder per round: identical task lists (every shard under
+        # broadcast) are encoded once and the bytes reused per shard.
+        encoder = _ScatterEncoder(tasks)
         messages: dict[int, dict] = {}
-        sent_indices: dict[int, list[int]] = {}
+        sent_indices: dict[int, tuple[int, ...]] = {}
         for shard_id in self._shard_ids:
             if shard_sets is None:
-                indices = list(range(len(tasks)))
+                indices = tuple(range(len(tasks)))
             else:
-                indices = [i for i, routed in enumerate(shard_sets)
-                           if shard_id in routed]
+                indices = tuple(i for i, routed in enumerate(shard_sets)
+                                if shard_id in routed)
             if not indices:
                 continue  # no message at all — the owner-routing win
             sent_indices[shard_id] = indices
-            messages[shard_id] = {
-                "op": "scatter",
-                "tasks": [protocol.encode_task(tasks[i]) for i in indices],
-            }
+            messages[shard_id] = {"op": "scatter",
+                                  "_scatter": (encoder, indices)}
         results = self._request_round(messages)
         responses = []
         for shard_id in self._shard_ids:
             row: list = [None] * len(tasks)
             if shard_id in results:
                 conn = self._conns[shard_id]
-                payload = results[shard_id].get("responses")
+                result = results[shard_id]
                 indices = sent_indices[shard_id]
-                if not isinstance(payload, list) \
-                        or len(payload) != len(indices):
-                    raise ShardProtocolError(
-                        f"shard {conn.addr}: scatter response does not "
-                        f"align with the {len(indices)} tasks sent",
-                        addr=conn.addr)
-                for i, encoded in zip(indices, payload):
-                    row[i] = protocol.decode_shard_response(tasks[i][0],
-                                                            encoded)
+                kinds = [tasks[i][0] for i in indices]
+                if "responses_meta" in result:
+                    decoded = protocol.decode_shard_responses_binary(
+                        result["responses_meta"],
+                        getattr(result, "payloads", ()),
+                        expected_kinds=kinds)
+                    if len(decoded) != len(indices):
+                        raise ShardProtocolError(
+                            f"shard {conn.addr}: scatter response does "
+                            f"not align with the {len(indices)} tasks "
+                            f"sent", addr=conn.addr)
+                    for i, value in zip(indices, decoded):
+                        row[i] = value
+                else:
+                    payload = result.get("responses")
+                    if not isinstance(payload, list) \
+                            or len(payload) != len(indices):
+                        raise ShardProtocolError(
+                            f"shard {conn.addr}: scatter response does "
+                            f"not align with the {len(indices)} tasks "
+                            f"sent", addr=conn.addr)
+                    for i, encoded in zip(indices, payload):
+                        row[i] = protocol.decode_shard_response(
+                            tasks[i][0], encoded)
             responses.append(row)
         return responses
 
@@ -978,6 +1098,34 @@ class RemoteShardBackend(ShardBackend):
         return [{k: v for k, v in results[shard_id].items()
                  if k not in ("id", "ok")}
                 for shard_id in self._shard_ids]
+
+    @property
+    def wire_codec(self) -> str:
+        """The fleet-wide negotiated codec: ``binary``/``json`` when the
+        shards agree (the normal case), ``mixed`` during a rolling
+        upgrade."""
+        from repro.server import protocol
+        codecs = {self._conns[shard_id].codec or protocol.CODEC_JSON
+                  for shard_id in self._shard_ids
+                  if shard_id in self._conns}
+        if len(codecs) == 1:
+            return codecs.pop()
+        return "mixed" if codecs else protocol.CODEC_JSON
+
+    def wire_stats(self) -> list[dict]:
+        """Per-shard client-side wire counters, in shard order — a local
+        read, no fleet round-trip."""
+        out = []
+        for shard_id in self._shard_ids:
+            conn = self._conns.get(shard_id)
+            if conn is None:
+                continue
+            out.append({"shard_id": shard_id, "addr": conn.addr,
+                        "codec": conn.codec or "json",
+                        "bytes_sent": conn.bytes_sent,
+                        "bytes_received": conn.bytes_received,
+                        "encode_ms": round(conn.encode_s * 1000.0, 3)})
+        return out
 
     def reload_fleet(self) -> list[dict]:
         """Ask every shard server to reload its shard from disk (after a

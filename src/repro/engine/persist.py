@@ -567,7 +567,7 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                 connect_timeout: float = 5.0,
                 request_timeout: float = 30.0,
                 retries: int = 2, retry_backoff_s: float = 0.1,
-                owner_routing: bool = True):
+                owner_routing: bool = True, wire_format: str = "auto"):
     """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
 
     The frozen path (default) is the warm start: CSR buffers are adopted
@@ -603,6 +603,9 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
     (default) infers ``remote`` when ``shard_addrs`` is non-empty and
     ``process`` when ``workers`` is. ``owner_routing=False`` disables
     owner-filtered scatter (broadcast every task — the reference mode).
+    ``wire_format`` picks the remote codecs offered at the handshake
+    (``auto``/``json``/``binary``; see
+    :class:`~repro.engine.parallel.RemoteShardBackend`).
 
     ``executor`` picks the plan executor for unsharded or merged serving
     (see :class:`~repro.engine.engine.QueryEngine`). ``workers`` and
@@ -645,7 +648,8 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                                     request_timeout=request_timeout,
                                     retries=retries,
                                     retry_backoff_s=retry_backoff_s,
-                                    owner_routing=owner_routing)
+                                    owner_routing=owner_routing,
+                                    wire_format=wire_format)
     if workers:
         raise EngineError(
             f"artifact at {path} is not sharded; open it without workers, "
@@ -1047,7 +1051,8 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                          connect_timeout: float = 5.0,
                          request_timeout: float = 30.0,
                          retries: int = 2, retry_backoff_s: float = 0.1,
-                         owner_routing: bool = True):
+                         owner_routing: bool = True,
+                         wire_format: str = "auto"):
     from repro.engine.engine import QueryEngine
     from repro.engine.parallel import (
         InlineShardBackend,
@@ -1141,7 +1146,8 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                                     request_timeout=request_timeout,
                                     retries=retries,
                                     retry_backoff_s=retry_backoff_s,
-                                    owner_routing=owner_routing)
+                                    owner_routing=owner_routing,
+                                    wire_format=wire_format)
     elif workers:
         shards = ProcessShardBackend(path, range(num_shards), schema,
                                      workers=workers,

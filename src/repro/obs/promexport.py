@@ -127,6 +127,31 @@ def render_prometheus(snapshot: dict) -> str:
         for field in _BACKEND_FIELDS:
             w.sample(f"repro_backend_{field}_total", backend.get(field),
                      kind="counter")
+        # Front-end wire telemetry: bytes each way per shard connection
+        # plus cumulative request-encode time, negotiated codec as an
+        # info-style gauge.
+        for entry in backend.get("wire_by_shard", ()):
+            if not isinstance(entry, dict):
+                continue
+            shard_label = str(entry.get("shard_id", "?"))
+            for direction, field in (("sent", "bytes_sent"),
+                                     ("received", "bytes_received")):
+                w.sample("repro_shard_wire_bytes_total", entry.get(field),
+                         {"shard": shard_label, "direction": direction},
+                         kind="counter",
+                         help_text=("Bytes on the wire per shard "
+                                    "connection, by direction "
+                                    "(front-end side)."))
+            w.sample("repro_shard_wire_encode_ms_total",
+                     entry.get("encode_ms"), {"shard": shard_label},
+                     kind="counter",
+                     help_text=("Cumulative request-encode time per "
+                                "shard connection, ms."))
+            w.sample("repro_shard_wire_codec", 1,
+                     {"shard": shard_label,
+                      "codec": str(entry.get("codec", "json"))},
+                     help_text=("Negotiated wire codec per shard "
+                                "connection (info gauge)."))
 
     for shard in snapshot.get("shards", ()):
         if not isinstance(shard, dict):
@@ -143,6 +168,25 @@ def render_prometheus(snapshot: dict) -> str:
         w.sample("repro_shard_scatter_seconds_total",
                  shard.get("scatter_seconds"), labels, kind="counter")
         w.sample("repro_shard_uptime_s", shard.get("uptime_s"), labels)
+        wire = shard.get("wire")
+        if isinstance(wire, dict):
+            # Server-side byte counters, labelled from the shard's own
+            # perspective (its "sent" is the front-end's "received").
+            for direction, field in (("sent", "bytes_sent"),
+                                     ("received", "bytes_received")):
+                w.sample("repro_shard_server_wire_bytes_total",
+                         wire.get(field),
+                         {"shard": labels["shard"],
+                          "direction": direction}, kind="counter",
+                         help_text=("Bytes on the wire per shard server, "
+                                    "by direction (server side)."))
+            for codec, count in sorted(
+                    (wire.get("negotiations") or {}).items()):
+                w.sample("repro_shard_codec_negotiations_total", count,
+                         {"shard": labels["shard"], "codec": str(codec)},
+                         kind="counter",
+                         help_text=("Hello negotiations per shard server, "
+                                    "by chosen codec."))
 
     plan_cache = snapshot.get("plan_cache")
     if plan_cache:

@@ -97,8 +97,24 @@ def render_metrics_table(snapshot: dict) -> str:
         ("size", cache.get("size")),
     ], out)
 
-    backend = get("backend") or {}
+    backend = dict(get("backend") or {})
+    wire = backend.pop("wire", None) or {}
+    wire_by_shard = backend.pop("wire_by_shard", None) or ()
     _rows("backend", sorted(backend.items()), out)
+
+    if wire:
+        _rows("wire", [
+            ("codec", wire.get("codec")),
+            ("bytes_sent", wire.get("bytes_sent")),
+            ("bytes_received", wire.get("bytes_received")),
+            ("encode_ms", wire.get("encode_ms")),
+        ], out)
+    for entry in wire_by_shard:
+        if not isinstance(entry, dict):
+            continue
+        _rows(f"wire[{entry.get('shard_id', '?')}]",
+              sorted((k, v) for k, v in entry.items() if k != "shard_id"),
+              out)
 
     for shard in get("shards") or ():
         if not isinstance(shard, dict):
@@ -107,9 +123,24 @@ def render_metrics_table(snapshot: dict) -> str:
             _rows(f"shard[{shard.get('shard_id', '?')}]",
                   [("error", shard["error"])], out)
             continue
-        _rows(f"shard[{shard.get('shard_id', '?')}]",
+        shard = dict(shard)
+        shard_wire = shard.pop("wire", None) or {}
+        shard_id = shard.get("shard_id", "?")
+        _rows(f"shard[{shard_id}]",
               sorted((k, v) for k, v in shard.items() if k != "shard_id"),
               out)
+        if shard_wire:
+            _rows(f"shard[{shard_id}].wire", [
+                ("format", shard_wire.get("format")),
+                ("bytes_received", shard_wire.get("bytes_received")),
+                ("bytes_sent", shard_wire.get("bytes_sent")),
+                ("binary_frames_received",
+                 shard_wire.get("binary_frames_received")),
+                ("negotiations",
+                 ",".join(f"{codec}:{count}" for codec, count in
+                          sorted((shard_wire.get("negotiations")
+                                  or {}).items()))),
+            ], out)
 
     tracing = get("tracing") or {}
     _rows("tracing", sorted(tracing.items()), out)

@@ -1,4 +1,6 @@
-"""Asyncio front-end: JSON-lines TCP in front of a :class:`QueryService`.
+"""Asyncio front-end: wire-protocol TCP in front of a
+:class:`QueryService` (JSON lines from any client, binary frames when a
+client sends them — replies always use the request's framing).
 
 One event loop owns all I/O and admission; a ``ThreadPoolExecutor`` of
 ``service.workers`` threads executes micro-batches against the shared
@@ -33,6 +35,7 @@ from repro.errors import (
     NotEffectivelyBounded,
     ServerError,
     ServiceOverloaded,
+    ShardProtocolError,
 )
 from repro.obs.trace import Span, activate, bind
 from repro.server import protocol
@@ -143,26 +146,27 @@ class QueryServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
+        # Per-connection framing state: each response goes out in the
+        # framing of the request that is being answered, so a client
+        # that switches codecs mid-connection stays in sync.
+        binary = False
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except ConnectionError:
+                    frame = await protocol.read_frame_async(reader)
+                except (EOFError, ConnectionError):
                     break
-                except ValueError:
-                    # A line past the stream limit (readline wraps
-                    # LimitOverrunError in ValueError). The stream can't
-                    # be resynced mid-line: answer typed, then hang up.
+                except (ShardProtocolError, ServerError) as exc:
+                    # Overlong, truncated or malformed framing. The
+                    # stream can't be resynced past it: answer typed,
+                    # then hang up.
                     await self._write(writer, write_lock,
-                                      protocol.error_response(
-                                          None, ServerError(
-                                              f"request line exceeds "
-                                              f"{protocol.MAX_LINE_BYTES} "
-                                              f"bytes")))
+                                      protocol.error_response(None, exc),
+                                      binary=binary)
                     break
-                if not line:
-                    break
-                await self._dispatch(line, writer, write_lock)
+                binary = frame.binary
+                await self._dispatch(frame, writer, write_lock,
+                                     binary=binary)
                 if self._shutdown_event.is_set():
                     break
         finally:
@@ -172,24 +176,26 @@ class QueryServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, line: bytes, writer: asyncio.StreamWriter,
-                        write_lock: asyncio.Lock) -> None:
+    async def _dispatch(self, doc: dict, writer: asyncio.StreamWriter,
+                        write_lock: asyncio.Lock, *,
+                        binary: bool = False) -> None:
         request_id = None
         try:
-            doc = protocol.decode(line)
             request_id = doc.get("id")
             op = doc.get("op", "query")
             if op == "query":
-                await self._handle_query(doc, writer, write_lock)
+                await self._handle_query(doc, writer, write_lock,
+                                         binary=binary)
                 return
             if op == "metrics":
                 body = self.service.snapshot(queue_depth=self._queue.qsize())
                 await self._write(writer, write_lock,
-                                  {"id": request_id, "ok": True, **body})
+                                  {"id": request_id, "ok": True, **body},
+                                  binary=binary)
             elif op == "ping":
                 await self._write(writer, write_lock,
                                   {"id": request_id, "ok": True,
-                                   "op": "pong"})
+                                   "op": "pong"}, binary=binary)
             elif op == "reload":
                 path = doc.get("artifact")
                 if not path:
@@ -197,11 +203,12 @@ class QueryServer:
                 info = await self._loop.run_in_executor(
                     None, self.service.reload_artifact, path)
                 await self._write(writer, write_lock,
-                                  {"id": request_id, "ok": True, **info})
+                                  {"id": request_id, "ok": True, **info},
+                                  binary=binary)
             elif op == "shutdown":
                 await self._write(writer, write_lock,
                                   {"id": request_id, "ok": True,
-                                   "op": "shutdown"})
+                                   "op": "shutdown"}, binary=binary)
                 self.request_shutdown()
             else:
                 raise ServerError(f"unknown op {op!r}")
@@ -210,10 +217,12 @@ class QueryServer:
                 self.service.metrics.record_error()
                 exc = ServerError(f"internal error: {type(exc).__name__}: {exc}")
             await self._write(writer, write_lock,
-                              protocol.error_response(request_id, exc))
+                              protocol.error_response(request_id, exc),
+                              binary=binary)
 
     async def _handle_query(self, doc: dict, writer: asyncio.StreamWriter,
-                            write_lock: asyncio.Lock) -> None:
+                            write_lock: asyncio.Lock, *,
+                            binary: bool = False) -> None:
         request_id = doc.get("id")
         pattern = doc.get("pattern")
         if not isinstance(pattern, str) or not pattern.strip():
@@ -284,14 +293,16 @@ class QueryServer:
                 if root is not None:
                     root.set(status="deadline_expired")
                 await self._write(writer, write_lock,
-                                  protocol.error_response(request_id, exc))
+                                  protocol.error_response(request_id, exc),
+                                  binary=binary)
                 return
             if root is not None:
                 root.set(status="answered")
             self.service.metrics.record_answered(self._loop.time()
                                                  - item.admitted_at)
             await self._write(writer, write_lock,
-                              {"id": request_id, "ok": True, **body})
+                              {"id": request_id, "ok": True, **body},
+                              binary=binary)
         except Exception as exc:
             if root is not None:
                 root.set(status="rejected", error=type(exc).__name__)
@@ -301,9 +312,14 @@ class QueryServer:
                 root.trace.finish()
 
     async def _write(self, writer: asyncio.StreamWriter,
-                     write_lock: asyncio.Lock, doc: dict) -> None:
+                     write_lock: asyncio.Lock, doc: dict, *,
+                     binary: bool = False) -> None:
+        # Query responses are JSON docs in either framing; ``binary``
+        # only wraps them in the binary envelope so a binary-framing
+        # client can keep sniffing frames by first byte.
         async with write_lock:
-            writer.write(protocol.encode(doc))
+            writer.write(protocol.encode_binary(doc) if binary
+                         else protocol.encode(doc))
             try:
                 await writer.drain()
             except (ConnectionError, OSError):

@@ -3,8 +3,9 @@
 ``repro shard-serve --artifact <dir>/shard-NNNN --port P`` warm-starts
 one :class:`~repro.engine.parallel.ShardRuntime` from its per-shard
 sub-artifact (checksum-verified against the top manifest, exactly like a
-pool worker) and serves the backend contract over the JSON-lines
-protocol of :mod:`repro.server.protocol`:
+pool worker) and serves the backend contract over the wire protocol of
+:mod:`repro.server.protocol` — packed binary frames when the hello
+handshake negotiates them (``--wire-format``), JSON lines otherwise:
 
 * ``hello`` — the handshake: protocol version, artifact format version,
   shard id, shard-manifest checksum, schema version, owned labels. The
@@ -34,7 +35,12 @@ import time
 from pathlib import Path
 
 from repro.constraints.schema import AccessConstraint
-from repro.errors import EngineError, ServerError, ShardHandshakeMismatch
+from repro.errors import (
+    EngineError,
+    ServerError,
+    ShardHandshakeMismatch,
+    ShardProtocolError,
+)
 from repro.server import protocol
 
 _log = logging.getLogger("repro.shardserver")
@@ -69,10 +75,17 @@ class ShardServer:
     """
 
     def __init__(self, artifact, *, host: str = "127.0.0.1", port: int = 0,
-                 shard_id: int | None = None):
+                 shard_id: int | None = None, wire_format: str = "auto"):
         self.root, self.shard_id = resolve_shard_artifact(artifact, shard_id)
         self.host = host
         self.port = port
+        if wire_format not in protocol.WIRE_FORMATS:
+            raise EngineError(
+                f"wire_format must be one of {protocol.WIRE_FORMATS}, "
+                f"got {wire_format!r}")
+        self.wire_format = wire_format
+        #: Codecs this server offers in the hello negotiation.
+        self.wire_codecs = protocol.supported_codecs(wire_format)
         self._lock = threading.Lock()
         self._server: _ShardTCPServer | None = None
         self._thread: threading.Thread | None = None
@@ -88,6 +101,13 @@ class ShardServer:
         self.traced_requests = 0
         #: Cumulative wall time spent executing scatter rounds.
         self.scatter_seconds = 0.0
+        # -- wire telemetry -------------------------------------------------
+        self.wire_bytes_received = 0
+        self.wire_bytes_sent = 0
+        self.binary_frames_received = 0
+        #: Hello negotiations by chosen codec.
+        self.codec_negotiations = {protocol.CODEC_BINARY: 0,
+                                   protocol.CODEC_JSON: 0}
         self._load()
 
     # -- state ----------------------------------------------------------------
@@ -180,6 +200,11 @@ class ShardServer:
         server_ms = (time.perf_counter() - t0) * 1000.0
         _log.debug("shard %d %s trace=%s %.2f ms", self.shard_id,
                    doc.get("op"), trace["trace_id"], server_ms)
+        if isinstance(response, protocol.Frame):
+            # Mutate in place — spreading into a plain dict would drop
+            # the payload buffers of a binary scatter response.
+            response["server_ms"] = round(server_ms, 3)
+            return response
         return {**response, "server_ms": round(server_ms, 3)}
 
     def _dispatch(self, doc: dict) -> dict:
@@ -219,9 +244,17 @@ class ShardServer:
                 f"front-end speaks protocol {found!r}, this shard server "
                 f"speaks {protocol.PROTOCOL_VERSION}",
                 found=found, expected=protocol.PROTOCOL_VERSION)
+        # Codec negotiation: the client's first preference this server
+        # speaks; a client that predates the field gets JSON. Additive —
+        # no PROTOCOL_VERSION bump, old peers ignore the extra keys.
+        codec = protocol.choose_codec(doc.get("codecs"), self.wire_codecs)
+        self.codec_negotiations[codec] = \
+            self.codec_negotiations.get(codec, 0) + 1
         return {
             "op": "hello",
             "protocol": protocol.PROTOCOL_VERSION,
+            "codec": codec,
+            "codecs": list(self.wire_codecs),
             "shard_id": self.shard_id,
             "format_version": self.format_version,
             "schema_version": self.schema_version,
@@ -233,16 +266,32 @@ class ShardServer:
 
     def _op_scatter(self, doc: dict) -> dict:
         t0 = time.perf_counter()
-        tasks = [protocol.decode_task(item)
-                 for item in doc.get("tasks", ())]
+        binary = "tasks_meta" in doc
+        if binary:
+            if not protocol.binary_supported():
+                raise ShardProtocolError(
+                    "binary scatter frame received but this build has no "
+                    "numpy; the client must negotiate the json codec")
+            tasks = protocol.decode_tasks_binary(
+                doc["tasks_meta"], getattr(doc, "payloads", ()))
+        else:
+            tasks = [protocol.decode_task(item)
+                     for item in doc.get("tasks", ())]
         runtime = self.runtime  # one snapshot for the whole round
-        responses = [protocol.encode_shard_response(task[0],
-                                                    runtime.handle(task))
-                     for task in tasks]
+        raw = [runtime.handle(task) for task in tasks]
         self.scatter_rounds += 1
         self.tasks_handled += len(tasks)
+        if binary:
+            metas, buffers = protocol.encode_shard_responses_binary(
+                [task[0] for task in tasks], raw)
+            response = protocol.Frame({"responses_meta": metas},
+                                      payloads=buffers, binary=True)
+        else:
+            response = {"responses": [
+                protocol.encode_shard_response(task[0], value)
+                for task, value in zip(tasks, raw)]}
         self.scatter_seconds += time.perf_counter() - t0
-        return {"responses": responses}
+        return response
 
     def _op_extend(self, doc: dict) -> dict:
         constraints = [AccessConstraint.from_dict(item)
@@ -267,6 +316,14 @@ class ShardServer:
             "traced_requests": self.traced_requests,
             "scatter_seconds": round(self.scatter_seconds, 6),
             "uptime_s": time.monotonic() - self._started,
+            "wire": {
+                "format": self.wire_format,
+                "codecs": list(self.wire_codecs),
+                "bytes_received": self.wire_bytes_received,
+                "bytes_sent": self.wire_bytes_sent,
+                "binary_frames_received": self.binary_frames_received,
+                "negotiations": dict(self.codec_negotiations),
+            },
         }
 
     def __repr__(self) -> str:
@@ -282,11 +339,13 @@ class _ShardTCPServer(socketserver.ThreadingTCPServer):
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: a request/response loop over JSON-lines frames.
-    Typed :mod:`repro.errors` exceptions serialize as typed error
-    responses; anything else is a server bug and reports opaquely. A
-    malformed or overlong frame gets one error response, then the
-    connection is dropped (the stream cannot be trusted past it)."""
+    """One connection: a request/response loop over wire frames, each
+    framing sniffed per frame and each response sent in its request's
+    framing. Typed :mod:`repro.errors` exceptions serialize as typed
+    error responses; anything else is a server bug and reports opaquely.
+    A malformed, overlong or truncated frame gets one typed error
+    response, then the connection is closed (the stream cannot be
+    trusted past it)."""
 
     def setup(self) -> None:
         super().setup()
@@ -302,29 +361,38 @@ class _Handler(socketserver.StreamRequestHandler):
         server = self.server.shard_server
         while True:
             try:
-                doc = protocol.read_frame(self.rfile)
+                frame = protocol.read_frame(self.rfile)
             except EOFError:
                 return
-            except (ServerError, OSError) as exc:
+            except (ShardProtocolError, ServerError, OSError) as exc:
                 self._respond(protocol.error_response(
                     None, exc if protocol.is_repro_error(exc)
                     else ServerError("unreadable frame")))
                 return
-            request_id = doc.get("id")
+            server.wire_bytes_received += frame.nbytes
+            if frame.binary:
+                server.binary_frames_received += 1
+            request_id = frame.get("id")
+            payloads = ()
             try:
-                response = server.dispatch(doc)
+                response = server.dispatch(frame)
+                payloads = getattr(response, "payloads", ())
                 response = {"id": request_id, "ok": True, **response}
             except Exception as exc:  # noqa: BLE001 — keep serving
                 if not protocol.is_repro_error(exc):
                     exc = ServerError(
                         f"internal error: {type(exc).__name__}")
                 response = protocol.error_response(request_id, exc)
-            if not self._respond(response):
+            if not self._respond(response, payloads=payloads,
+                                 binary=frame.binary):
                 return
 
-    def _respond(self, doc: dict) -> bool:
+    def _respond(self, doc: dict, payloads=(), binary: bool = False) -> bool:
         try:
-            self.wfile.write(protocol.encode(doc))
+            data = protocol.encode_binary(doc, payloads) if binary \
+                else protocol.encode(doc)
+            self.wfile.write(data)
+            self.server.shard_server.wire_bytes_sent += len(data)
             return True
         except (OSError, ValueError):
             return False
@@ -346,6 +414,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int,
                         default=protocol.DEFAULT_SHARD_PORT)
+    parser.add_argument("--wire-format", choices=protocol.WIRE_FORMATS,
+                        default="auto",
+                        help="codecs offered in the hello negotiation: "
+                             "auto prefers packed binary frames when "
+                             "numpy is available, json forces the "
+                             "JSON-lines codec (default: auto)")
     parser.add_argument("--log-format", choices=("text", "json"),
                         default="text",
                         help="structured log format for the repro.* "
@@ -355,7 +429,8 @@ def main(argv: list[str] | None = None) -> int:
     from repro.obs.logs import setup_logging
     setup_logging(args.log_format)
     server = ShardServer(args.artifact, host=args.host, port=args.port,
-                         shard_id=args.shard_id)
+                         shard_id=args.shard_id,
+                         wire_format=args.wire_format)
     server.start()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: server.request_stop())

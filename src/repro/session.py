@@ -48,7 +48,11 @@ class SessionConfig:
     ``backend`` (``auto``/``inline``/``process``/``remote``) with the
     remote-fleet settings — ``shard_addrs`` (one ``host:port`` per
     shard, in shard order), the two timeouts, bounded retry
-    (``retries``/``retry_backoff_s``) and ``owner_routing``.
+    (``retries``/``retry_backoff_s``), ``owner_routing`` and
+    ``wire_format`` (``auto`` negotiates packed binary frames when both
+    ends can, ``json`` forces the compatibility codec, ``binary``
+    demands the packed codec and fails the handshake on a JSON-only
+    server).
     """
 
     frozen: bool = True
@@ -69,6 +73,7 @@ class SessionConfig:
     retries: int = 2
     retry_backoff_s: float = 0.1
     owner_routing: bool = True
+    wire_format: str = "auto"
 
     def replace(self, **overrides) -> "SessionConfig":
         """A copy with ``overrides`` applied; unknown names raise
@@ -119,7 +124,8 @@ def connect(source, *, config: SessionConfig | None = None, **overrides):
             connect_timeout=cfg.connect_timeout,
             request_timeout=cfg.request_timeout, retries=cfg.retries,
             retry_backoff_s=cfg.retry_backoff_s,
-            owner_routing=cfg.owner_routing)
+            owner_routing=cfg.owner_routing,
+            wire_format=cfg.wire_format)
     if isinstance(source, tuple) and len(source) == 2:
         graph, schema = source
         if cfg.backend not in ("auto", "inline") or cfg.shard_addrs:

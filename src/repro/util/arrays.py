@@ -74,6 +74,54 @@ def pack_matrix(rows):
     return flipped.view(f"S{8 * k}").reshape(n)
 
 
+#: Wire dtype codes for :func:`pack_ints` / :func:`unpack_ints`. All
+#: multi-byte widths are explicit little-endian so a packed buffer means
+#: the same thing on any peer, whatever its native byte order.
+_PACK_DTYPES = {"u1": "u1", "u2": "<u2", "i4": "<i4", "i8": "<i8"}
+
+
+def pack_ints(values):
+    """Pack an int array (any shape) into ``(dtype_code, bytes)``.
+
+    The narrowest lossless width wins — ``u1``/``u2`` for small
+    non-negative values (edge-flag masks, per-combo counts, node ids in
+    small partitions), ``i4`` for ids that fit 32 bits (every bundled
+    dataset), ``i8`` otherwise — so the wire cost tracks the data, not
+    the worst case. The bytes come straight from ``ndarray.tobytes()``;
+    :func:`unpack_ints` re-adopts them with ``np.frombuffer``. No
+    per-element Python loop on either side.
+    """
+    require_numpy()
+    arr = np.asarray(values, dtype=np.int64).reshape(-1)
+    code = "i8"
+    if arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        if 0 <= lo and hi <= 0xFF:
+            code = "u1"
+        elif 0 <= lo and hi <= 0xFFFF:
+            code = "u2"
+        elif -2**31 <= lo and hi < 2**31:
+            code = "i4"
+    if code != "i8":
+        arr = arr.astype(_PACK_DTYPES[code])
+    return code, arr.tobytes()
+
+
+def unpack_ints(code, buffer):
+    """Zero-copy int ndarray over a buffer packed by :func:`pack_ints`.
+
+    Adopts the (memoryview) buffer in place — the result aliases the
+    received frame and is read-only. Raises :class:`ValueError` on an
+    unknown dtype code or a buffer whose size is not a multiple of the
+    item width (callers map it to their typed protocol error).
+    """
+    require_numpy()
+    dtype = _PACK_DTYPES.get(code)
+    if dtype is None:
+        raise ValueError(f"unknown packed dtype code {code!r}")
+    return np.frombuffer(buffer, dtype=dtype)
+
+
 def in_sorted(haystack, needles):
     """Boolean membership mask of ``needles`` in the *sorted* array
     ``haystack`` (any dtype searchsorted supports, including the byte
@@ -103,7 +151,9 @@ __all__ = [
     "HAVE_NUMPY",
     "as_int64",
     "in_sorted",
+    "pack_ints",
     "pack_matrix",
     "require_numpy",
+    "unpack_ints",
     "take_segments",
 ]

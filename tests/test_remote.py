@@ -221,17 +221,25 @@ class FlakyOnceShardServer(ShardServer):
 class TestRemoteIdentity:
     @given(shards=st.sampled_from(SHARD_COUNTS),
            semantics=st.sampled_from([SUBGRAPH, SIMULATION]),
+           wire_format=st.sampled_from(["auto", "json"]),
            pick=st.integers(min_value=0, max_value=2))
     @settings(**_SETTINGS)
     def test_identical_to_inline_at_every_shard_count(
-            self, artifacts, fleets, workload, shards, semantics, pick):
+            self, artifacts, fleets, workload, shards, semantics,
+            wire_format, pick):
         sub, sim = workload
         query = (sub if semantics == SUBGRAPH else sim)[pick % len(sub)]
         with connect(artifacts[shards], strategy="scatter") as inline:
             expected = fingerprint(inline, query, semantics)
         with connect(artifacts[shards], backend="remote",
-                     shard_addrs=fleets[shards]) as remote:
+                     shard_addrs=fleets[shards],
+                     wire_format=wire_format) as remote:
             assert fingerprint(remote, query, semantics) == expected
+            codec = remote._shards.wire_codec
+            if wire_format == "json" or not protocol.binary_supported():
+                assert codec == protocol.CODEC_JSON
+            else:
+                assert codec == protocol.CODEC_BINARY
 
     def test_identical_after_injected_restart_midrun(self, artifacts,
                                                      workload, imdb_small):

@@ -175,7 +175,8 @@ def test_bad_request_fields_are_typed_errors(client):
 
 def test_oversized_line_answers_typed_then_closes(server):
     """A request line past the stream limit gets a typed error response
-    and a clean close — not an unhandled exception in the handler."""
+    (the framing-violation class, ``ShardProtocolError``) and a clean
+    close — not an unhandled exception in the handler."""
     import socket
 
     with socket.create_connection((server.host, server.port),
@@ -185,7 +186,7 @@ def test_oversized_line_answers_typed_then_closes(server):
         reader = sock.makefile("rb")
         response = protocol.decode(reader.readline())
         assert response["ok"] is False
-        assert response["error"] == "ServerError"
+        assert response["error"] == "ShardProtocolError"
         assert "bytes" in response["message"]
         assert reader.readline() == b""  # server hung up
 

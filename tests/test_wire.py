@@ -1,0 +1,473 @@
+"""The binary scatter wire format: framing, packed codecs, negotiation.
+
+Covers the wire-format PR's acceptance criteria at the unit level
+(frame layout round-trips, width-adaptive int packing, the packed
+task/response codecs restoring byte-identical shapes, encode-once
+scatter caching) and over live sockets (mixed-version interop where a
+binary-preferring client negotiates down against a JSON-only shard
+server, a no-numpy build negotiating JSON, strict ``wire_format=
+"binary"`` failing the handshake against a JSON-only fleet, and
+malformed/truncated binary frames answered with one typed error — no
+hang, clean close).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+
+import pytest
+
+from repro import ShardHandshakeMismatch, ShardUnavailable, connect
+from repro.engine.parallel import _ScatterEncoder
+from repro.errors import ShardProtocolError
+from repro.pattern import parse_pattern
+from repro.server import protocol
+from repro.server.shardserver import ShardServer
+from repro.util import arrays
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+needs_numpy = pytest.mark.skipif(not arrays.HAVE_NUMPY,
+                                 reason="binary codec requires numpy")
+
+CHEAP = parse_pattern("m: movie; y: year; m -> y")
+
+TASKS = [
+    ("probe", [1, 2, 70000], [3, 4]),
+    ("fetch", 0, [(5,), (6,), (2**40,)]),
+    ("edge", 1, [(7, 8), (9, 10)]),
+    ("fetch", 2, []),
+]
+
+RESPONSES = [
+    (3, [(1, 3), (70000, 4)]),                                  # probe
+    ([[11, 12], [], [2**40]], {5: ("movie", None), 6: ("movie", "x")}),
+    [[(20, ((True, False), (False, True)))], []],               # edge
+    ([], {}),                                                   # empty fetch
+]
+KINDS = ["probe", "fetch", "edge", "fetch"]
+
+
+def read_frame_bytes(data: bytes) -> protocol.Frame:
+    return protocol.read_frame(io.BufferedReader(io.BytesIO(data)))
+
+
+# ------------------------------------------------------------- packing
+@needs_numpy
+class TestPackInts:
+    def test_width_adapts_to_value_range(self):
+        assert arrays.pack_ints([0, 255])[0] == "u1"
+        assert arrays.pack_ints([0, 256])[0] == "u2"
+        assert arrays.pack_ints([0, 0xFFFF])[0] == "u2"
+        assert arrays.pack_ints([0, 0x10000])[0] == "i4"
+        assert arrays.pack_ints([-1, 100])[0] == "i4"
+        assert arrays.pack_ints([0, 2**31])[0] == "i8"
+        assert arrays.pack_ints([-2**40])[0] == "i8"
+
+    def test_roundtrip_all_widths(self):
+        for values in ([0, 1, 255], [-5, 70000], [2**40, -2**40], []):
+            code, raw = arrays.pack_ints(values)
+            assert arrays.unpack_ints(code, raw).tolist() == values
+
+    def test_flattens_matrices(self):
+        code, raw = arrays.pack_ints([(1, 2), (3, 4)])
+        assert arrays.unpack_ints(code, raw).tolist() == [1, 2, 3, 4]
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            arrays.unpack_ints("f8", b"\x00" * 8)
+
+
+# ------------------------------------------------------------- framing
+class TestFraming:
+    def test_json_frame_roundtrip(self):
+        data = protocol.encode({"op": "ping", "id": 3})
+        frame = read_frame_bytes(data)
+        assert frame == {"op": "ping", "id": 3}
+        assert frame.binary is False
+        assert frame.payloads == []
+        assert frame.nbytes == len(data)
+
+    def test_binary_frame_roundtrip(self):
+        buffers = [b"\x01\x02\x03", b"", b"\xff" * 10]
+        data = protocol.encode_binary({"op": "scatter", "id": 9}, buffers)
+        frame = read_frame_bytes(data)
+        assert frame == {"op": "scatter", "id": 9}
+        assert frame.binary is True
+        assert [bytes(view) for view in frame.payloads] == buffers
+        assert frame.nbytes == len(data)
+
+    def test_binary_magic_cannot_start_a_json_line(self):
+        assert protocol.BINARY_MAGIC[0] == 0xAB  # never valid JSON/UTF-8
+
+    def test_payload_reuse_across_headers(self):
+        payload = protocol.encode_payload([b"shared"])
+        frames = [protocol.binary_frame(
+            json.dumps({"id": i}).encode(), payload) for i in (1, 2)]
+        for i, data in zip((1, 2), frames):
+            frame = read_frame_bytes(data)
+            assert frame["id"] == i
+            assert bytes(frame.payloads[0]) == b"shared"
+
+    def test_eof_between_frames_is_eoferror(self):
+        with pytest.raises(EOFError):
+            read_frame_bytes(b"")
+
+    def test_truncated_binary_body_is_eoferror(self):
+        data = protocol.encode_binary({"id": 1}, [b"abcdef"])
+        for cut in (3, len(data) - 1):
+            with pytest.raises(EOFError):
+                read_frame_bytes(data[:cut])
+
+    def test_oversize_declared_frame_is_typed(self):
+        head = struct.pack(">4sII", protocol.BINARY_MAGIC,
+                           protocol.MAX_FRAME_BYTES, 1024)
+        with pytest.raises(ShardProtocolError, match="exceeds"):
+            read_frame_bytes(head)
+
+    def test_garbage_header_json_is_typed(self):
+        data = protocol.binary_frame(b"not json", protocol.encode_payload([]))
+        with pytest.raises(ShardProtocolError, match="malformed"):
+            read_frame_bytes(data)
+        data = protocol.binary_frame(b"[1,2]", protocol.encode_payload([]))
+        with pytest.raises(ShardProtocolError, match="JSON object"):
+            read_frame_bytes(data)
+
+    def test_corrupt_payload_section_is_typed(self):
+        header = b'{"id":1}'
+        # Declares one buffer of 100 bytes but supplies 3.
+        bad = struct.pack(">II", 1, 100) + b"abc"
+        with pytest.raises(ShardProtocolError, match="truncated"):
+            read_frame_bytes(protocol.binary_frame(header, bad))
+        # Trailing bytes past the declared buffers.
+        good = protocol.encode_payload([b"ok"])
+        with pytest.raises(ShardProtocolError, match="trailing"):
+            read_frame_bytes(protocol.binary_frame(header, good + b"junk"))
+        # Absurd buffer count.
+        bomb = struct.pack(">I", protocol.MAX_PAYLOAD_BUFFERS + 1)
+        with pytest.raises(ShardProtocolError, match="buffers"):
+            read_frame_bytes(protocol.binary_frame(header, bomb))
+
+    def test_overlong_json_line_is_typed(self):
+        data = b'{"pad":"' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ShardProtocolError, match="bytes"):
+            read_frame_bytes(data)
+
+
+# ------------------------------------------------------- codec negotiation
+class TestNegotiation:
+    def test_supported_codecs_by_knob(self):
+        if arrays.HAVE_NUMPY:
+            assert protocol.supported_codecs("auto") == ["binary", "json"]
+            assert protocol.supported_codecs("binary") == ["binary", "json"]
+        assert protocol.supported_codecs("json") == ["json"]
+        with pytest.raises(ValueError):
+            protocol.supported_codecs("msgpack")
+
+    def test_no_numpy_build_offers_json_only(self, monkeypatch):
+        monkeypatch.setattr(arrays, "HAVE_NUMPY", False)
+        assert not protocol.binary_supported()
+        for knob in protocol.WIRE_FORMATS:
+            assert protocol.supported_codecs(knob) == ["json"]
+
+    def test_choose_codec_prefers_client_order(self):
+        both = ["binary", "json"]
+        assert protocol.choose_codec(both, both) == "binary"
+        assert protocol.choose_codec(["json"], both) == "json"
+        assert protocol.choose_codec(both, ["json"]) == "json"
+
+    def test_choose_codec_degrades_on_legacy_or_junk(self):
+        both = ["binary", "json"]
+        assert protocol.choose_codec(None, both) == "json"       # old peer
+        assert protocol.choose_codec("binary", both) == "json"   # junk type
+        assert protocol.choose_codec(["msgpack"], both) == "json"
+
+
+# ---------------------------------------------------------- packed codecs
+@needs_numpy
+class TestBinaryCodecs:
+    def test_tasks_roundtrip_matches_json_codec(self):
+        metas, buffers = protocol.encode_tasks_binary(TASKS)
+        views = [memoryview(buf) for buf in buffers]
+        decoded = protocol.decode_tasks_binary(metas, views)
+        expected = [protocol.decode_task(protocol.encode_task(t))
+                    for t in TASKS]
+        assert decoded == expected
+        # Exact shapes: ints (not numpy scalars), tuple combos.
+        for task in decoded:
+            if task[0] == "probe":
+                assert all(type(v) is int for v in task[1] + task[2])
+            else:
+                assert all(type(combo) is tuple for combo in task[2])
+                assert all(type(v) is int for combo in task[2]
+                           for v in combo)
+
+    def test_responses_roundtrip_matches_json_codec(self):
+        metas, buffers = protocol.encode_shard_responses_binary(
+            KINDS, RESPONSES)
+        views = [memoryview(buf) for buf in buffers]
+        decoded = protocol.decode_shard_responses_binary(
+            metas, views, expected_kinds=KINDS)
+        expected = [protocol.decode_shard_response(
+            kind, json.loads(json.dumps(
+                protocol.encode_shard_response(kind, response))))
+            for kind, response in zip(KINDS, RESPONSES)]
+        assert decoded == expected
+        checked, pairs = decoded[0]
+        assert type(checked) is int
+        assert all(type(pair) is tuple for pair in pairs)
+        for w, flags in decoded[2][0]:
+            assert type(w) is int
+            assert all(type(f) is bool for pair in flags for f in pair)
+
+    def test_packed_fetch_info_roundtrip(self):
+        """The dominant wire cost: a fetch info dict whose keys are the
+        payload's distinct ids, values mixing the ``<label>_<n>``
+        template, plain ints, None, and oddballs — must take the packed
+        path and decode to the identical dict."""
+        response = ([[10, 11], [11, 30]],
+                    {10: ("movie", "movie_7"), 11: ("year", 1984),
+                     30: ("award", None)})
+        metas, buffers = protocol.encode_shard_responses_binary(
+            ["fetch"], [response])
+        assert len(metas[0]) == 7  # packed form, not JSON triples
+        [decoded] = protocol.decode_shard_responses_binary(
+            metas, [memoryview(b) for b in buffers],
+            expected_kinds=["fetch"])
+        assert decoded == ([[10, 11], [11, 30]], response[1])
+        # Values the template can't express ride the JSON escape hatch.
+        odd = ([[5]], {5: ("movie", "movie_007")})  # leading zero
+        metas, buffers = protocol.encode_shard_responses_binary(
+            ["fetch"], [odd])
+        assert len(metas[0]) == 7
+        [decoded] = protocol.decode_shard_responses_binary(
+            metas, buffers, expected_kinds=["fetch"])
+        assert decoded == ([[5]], odd[1])
+
+    def test_fetch_info_fallback_when_keys_diverge(self):
+        """Info keys that aren't the distinct payload ids (nothing the
+        engine produces, but the codec must not corrupt them) fall back
+        to JSON triples."""
+        response = ([[1, 2]], {9: ("movie", "x")})
+        metas, buffers = protocol.encode_shard_responses_binary(
+            ["fetch"], [response])
+        assert len(metas[0]) == 4  # fallback form
+        [decoded] = protocol.decode_shard_responses_binary(
+            metas, buffers, expected_kinds=["fetch"])
+        assert decoded == ([[1, 2]], {9: ("movie", "x")})
+
+    def test_kind_mismatch_is_typed(self):
+        metas, buffers = protocol.encode_shard_responses_binary(
+            ["probe"], [RESPONSES[0]])
+        with pytest.raises(ShardProtocolError, match="expected"):
+            protocol.decode_shard_responses_binary(
+                metas, buffers, expected_kinds=["fetch"])
+
+    def test_size_lies_are_typed(self):
+        metas, buffers = protocol.encode_tasks_binary(
+            [("fetch", 0, [(1, 2), (3, 4)])])
+        metas[0][2] = 7  # claim 7 combos; the buffer holds 2x2 ints
+        with pytest.raises(ShardProtocolError):
+            protocol.decode_tasks_binary(metas, buffers)
+
+    def test_missing_buffer_reference_is_typed(self):
+        with pytest.raises(ShardProtocolError):
+            protocol.decode_tasks_binary([["probe", ["i8", 5], ["i8", 6]]],
+                                         [])
+
+
+# ------------------------------------------------------ encode-once cache
+@needs_numpy
+class TestScatterEncoder:
+    def test_heavy_parts_encoded_once_per_key(self):
+        encoder = _ScatterEncoder(TASKS)
+        key = (0, 1, 2, 3)
+        assert encoder._json_fragment(key) is encoder._json_fragment(key)
+        assert encoder._binary_parts(key) is encoder._binary_parts(key)
+
+    def test_spliced_frames_decode_per_codec(self):
+        encoder = _ScatterEncoder(TASKS)
+        key = (1, 3)
+        expected = [protocol.decode_task(protocol.encode_task(TASKS[i]))
+                    for i in key]
+        for shard_id in (0, 1):
+            envelope = {"id": shard_id + 1, "op": "scatter"}
+            frame = read_frame_bytes(
+                encoder.encode(protocol.CODEC_BINARY, key, dict(envelope)))
+            assert frame["id"] == shard_id + 1 and frame.binary
+            assert protocol.decode_tasks_binary(
+                frame["tasks_meta"], frame.payloads) == expected
+            frame = read_frame_bytes(
+                encoder.encode(protocol.CODEC_JSON, key, dict(envelope)))
+            assert frame["id"] == shard_id + 1 and not frame.binary
+            assert [protocol.decode_task(doc)
+                    for doc in frame["tasks"]] == expected
+
+
+# ------------------------------------------------------------ live sockets
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, imdb_small):
+    graph, schema = imdb_small
+    path = tmp_path_factory.mktemp("wire") / "artifact"
+    with connect((graph, schema)) as engine:
+        engine.prepare(CHEAP)
+        engine.save(path, shards=2)
+    return path
+
+
+def answers(engine):
+    run = engine.query(CHEAP)
+    return sorted(tuple(sorted(m.items())) for m in run.answer)
+
+
+class TestLiveNegotiation:
+    def test_binary_client_negotiates_down_to_json_server(self, artifact):
+        """Mixed-version interop: a binary-preferring front-end against a
+        JSON-only fleet transparently lands on JSON, answers intact."""
+        with connect(artifact, strategy="scatter") as inline:
+            expected = answers(inline)
+        servers = [ShardServer(artifact / f"shard-{i:04d}",
+                               wire_format="json").start()
+                   for i in range(2)]
+        try:
+            with connect(artifact, backend="remote",
+                         shard_addrs=[s.address for s in servers],
+                         wire_format="auto") as remote:
+                assert remote._shards.wire_codec == protocol.CODEC_JSON
+                assert answers(remote) == expected
+                for server in servers:
+                    assert server.codec_negotiations.get("json", 0) >= 1
+                    assert server.binary_frames_received == 0
+        finally:
+            for server in servers:
+                server.stop()
+
+    @needs_numpy
+    def test_auto_negotiates_binary_and_counts_bytes(self, artifact):
+        with connect(artifact, strategy="scatter") as inline:
+            expected = answers(inline)
+        servers = [ShardServer(artifact / f"shard-{i:04d}").start()
+                   for i in range(2)]
+        try:
+            with connect(artifact, backend="remote",
+                         shard_addrs=[s.address for s in servers]) as remote:
+                assert remote._shards.wire_codec == protocol.CODEC_BINARY
+                assert answers(remote) == expected
+                stats = remote._shards.wire_stats()
+                assert [s["codec"] for s in stats] == ["binary", "binary"]
+                assert all(s["bytes_sent"] > 0 and s["bytes_received"] > 0
+                           for s in stats)
+            assert any(s.binary_frames_received > 0 for s in servers)
+        finally:
+            for server in servers:
+                server.stop()
+
+    @needs_numpy
+    def test_strict_binary_rejects_json_only_server(self, artifact):
+        server = ShardServer(artifact / "shard-0000",
+                             wire_format="json").start()
+        try:
+            with pytest.raises(ShardHandshakeMismatch, match="codec"):
+                connect(artifact, backend="remote",
+                        shard_addrs=[server.address, server.address],
+                        wire_format="binary", retries=0)
+        finally:
+            server.stop()
+
+    def test_no_numpy_build_negotiates_json(self, artifact, monkeypatch):
+        """A front-end without numpy must land on JSON even against a
+        binary-capable fleet — whatever the knob says — and still get
+        identical answers."""
+        servers = [ShardServer(artifact / f"shard-{i:04d}").start()
+                   for i in range(2)]
+        monkeypatch.setattr(arrays, "HAVE_NUMPY", False)
+        try:
+            with connect(artifact, backend="remote",
+                         shard_addrs=[s.address for s in servers],
+                         wire_format="binary") as remote:
+                assert remote._shards.wire_codec == protocol.CODEC_JSON
+                assert remote.query(CHEAP).answer is not None
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestLiveMalformedFrames:
+    def _exchange(self, server, data: bytes) -> dict:
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10) as sock:
+            sock.sendall(data)
+            reader = sock.makefile("rb")
+            response = protocol.decode(reader.readline())
+            assert reader.readline() == b""  # server hung up
+        return response
+
+    def test_bad_payload_section_typed_then_closed(self, artifact):
+        server = ShardServer(artifact / "shard-0000").start()
+        try:
+            bad = protocol.binary_frame(
+                b'{"op":"ping"}', struct.pack(">II", 1, 999) + b"short")
+            response = self._exchange(server, bad)
+            assert response["ok"] is False
+            assert response["error"] == "ShardProtocolError"
+        finally:
+            server.stop()
+
+    def test_oversize_binary_frame_typed_then_closed(self, artifact):
+        server = ShardServer(artifact / "shard-0000").start()
+        try:
+            head = struct.pack(">4sII", protocol.BINARY_MAGIC,
+                               protocol.MAX_FRAME_BYTES, 64)
+            response = self._exchange(server, head)
+            assert response["ok"] is False
+            assert response["error"] == "ShardProtocolError"
+            assert "exceeds" in response["message"]
+        finally:
+            server.stop()
+
+    def test_truncated_binary_frame_no_hang(self, artifact):
+        """A client that dies mid-binary-frame must not wedge the
+        handler; the server treats it as a clean EOF."""
+        servers = [ShardServer(artifact / f"shard-{i:04d}").start()
+                   for i in range(2)]
+        try:
+            data = protocol.encode_binary({"op": "ping"}, [b"abcdef"])
+            with socket.create_connection((servers[0].host,
+                                           servers[0].port),
+                                          timeout=10) as sock:
+                sock.sendall(data[:len(data) - 2])
+            # The connection above closed mid-frame; the server must
+            # still answer fresh connections promptly.
+            with connect(artifact, backend="remote",
+                         shard_addrs=[s.address for s in servers],
+                         connect_timeout=5.0) as remote:
+                assert remote.query(CHEAP).answer is not None
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_client_wraps_protocol_error_with_addr(self, artifact):
+        """A shard speaking garbage binary framing surfaces to the
+        front-end as a typed error naming the shard, not a hang."""
+        def handler(conn):
+            try:
+                reader = conn.makefile("rb")
+                while True:
+                    protocol.read_frame(reader)
+                    conn.sendall(protocol.binary_frame(
+                        b"not json", protocol.encode_payload([])))
+            except (OSError, EOFError, ShardProtocolError):
+                conn.close()
+
+        from tests.test_remote import fake_shard_server
+        addr, close = fake_shard_server(handler)
+        try:
+            with pytest.raises((ShardProtocolError, ShardUnavailable)):
+                connect(artifact, backend="remote",
+                        shard_addrs=[addr, addr], retries=0,
+                        connect_timeout=2.0)
+        finally:
+            close()
