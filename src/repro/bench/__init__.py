@@ -25,6 +25,7 @@ from repro.bench.harness import (
     kernel_speedup,
     obs_overhead,
     remote_fleet,
+    remote_skewed,
     serve_load,
     shard_scaling,
     timed,
@@ -54,6 +55,7 @@ __all__ = [
     "kernel_speedup",
     "obs_overhead",
     "remote_fleet",
+    "remote_skewed",
     "serve_load",
     "shard_scaling",
     "timed",

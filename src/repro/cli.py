@@ -294,6 +294,12 @@ def _cmd_shard_serve(args) -> int:
     argv = ["--artifact", args.artifact, "--host", args.host,
             "--log-format", args.log_format,
             "--wire-format", args.wire_format]
+    if args.delay_ms:
+        argv += ["--delay-ms", str(args.delay_ms)]
+    if args.delay_jitter_ms:
+        argv += ["--delay-jitter-ms", str(args.delay_jitter_ms)]
+    if args.task_cost_ms:
+        argv += ["--task-cost-ms", str(args.task_cost_ms)]
     if args.shard_id is not None:
         argv += ["--shard-id", str(args.shard_id)]
     if args.port is not None:
@@ -665,6 +671,18 @@ def build_parser() -> argparse.ArgumentParser:
                          default="text",
                          help="structured stderr logging for the shard "
                               "server")
+    p_shard.add_argument("--delay-ms", type=float, default=0.0,
+                         help="inject this scatter-response latency "
+                              "(fault injection for pipelining tests and "
+                              "the skewed-fleet benchmark; answers are "
+                              "unaffected)")
+    p_shard.add_argument("--delay-jitter-ms", type=float, default=0.0,
+                         help="add up to this much uniform jitter on top "
+                              "of --delay-ms")
+    p_shard.add_argument("--task-cost-ms", type=float, default=0.0,
+                         help="inject this serial compute cost per "
+                              "scatter work unit (combos for fetch/edge "
+                              "tasks, 1 per probe)")
     p_shard.set_defaults(func=_cmd_shard_serve)
 
     p_metrics = sub.add_parser(

@@ -45,6 +45,7 @@ the edge phase — see DESIGN.md for the argument, and the property tests in
 
 from __future__ import annotations
 
+import queue as _queue_mod
 from dataclasses import dataclass
 from itertools import product
 
@@ -506,14 +507,27 @@ def _route_task(task: tuple, router, target_by_pos: dict) -> frozenset:
 
 def execute_plans_scatter(plans: list[QueryPlan], backend,
                           stats_list: list[AccessStats] | None = None,
-                          edge_mode: str = MODE_PLAN) -> list[ExecutionResult]:
+                          edge_mode: str = MODE_PLAN,
+                          pipeline: bool = True) -> list[ExecutionResult]:
     """Execute ``plans`` by scatter-gather over ``backend``'s shards.
 
     ``backend`` is a :class:`~repro.engine.parallel.ShardBackend`
-    (inline shards, a worker-process pool, or a remote fleet). All
-    executions advance together: each wave gathers every execution's
-    outstanding fetches into one scatter round, so a batch of queries
-    costs a handful of worker round-trips rather than one per fetch.
+    (inline shards, a worker-process pool, or a remote fleet). Two
+    drivers share the per-execution state machine:
+
+    * ``pipeline=False`` — the classic lock-step wave barrier: each
+      round gathers every execution's outstanding fetches into one
+      scatter and no execution advances until the whole round returns.
+    * ``pipeline=True`` (default) — per-shard progress: each logical
+      fetch is decomposed into ``(kind, constraint, combo)`` cells,
+      identical cells from different executions travel to a shard once
+      and fan back out, and an execution whose own cells were all
+      answered advances immediately, even while other shards of the
+      same round are still in flight (the backend's ``scatter_submit``
+      completes tasks out of round order). With a synchronous backend
+      the pipelined driver degenerates to the same round structure as
+      the barrier, minus the duplicate tasks.
+
     When the backend carries an :class:`~repro.engine.parallel.
     OwnerRouter`, each task is scattered only to the shards that can
     own its results (:func:`_route_task`) instead of broadcast to all.
@@ -528,6 +542,15 @@ def execute_plans_scatter(plans: list[QueryPlan], backend,
     router = getattr(backend, "router", None)
     exes = [_ScatterExecution(plan, constraint_pos, stats, edge_mode)
             for plan, stats in zip(plans, stats_list)]
+    if pipeline and hasattr(backend, "scatter_submit"):
+        _run_pipelined(exes, backend, constraint_pos, router)
+    else:
+        _run_barrier(exes, backend, constraint_pos, router)
+    return [exe.result() for exe in exes]
+
+
+def _run_barrier(exes, backend, constraint_pos, router) -> None:
+    """Lock-step wave driver: one global barrier per round."""
     wave_index = 0
     while True:
         wave: list[tuple[_ScatterExecution, tuple]] = []
@@ -536,20 +559,243 @@ def execute_plans_scatter(plans: list[QueryPlan], backend,
         if not wave:
             break
         tasks = [task for _, task in wave]
-        shard_sets = None
-        if router is not None:
-            # Rebuilt per wave: extend_schema may have grown the
-            # position table since the last one.
-            target_by_pos = {pos: constraint.target
-                             for constraint, pos in constraint_pos.items()}
-            shard_sets = [_route_task(task, router, target_by_pos)
-                          for task in tasks]
+        shard_sets = _route_tasks(tasks, constraint_pos, router)
         with child_span("wave", index=wave_index, tasks=len(tasks)):
             responses = backend.scatter(tasks, shard_sets)
             for i, (exe, task) in enumerate(wave):
                 exe.deliver(task, [shard[i] for shard in responses])
         wave_index += 1
-    return [exe.result() for exe in exes]
+
+
+def _route_tasks(tasks, constraint_pos, router):
+    if router is None:
+        return None
+    # Rebuilt per round: extend_schema may have grown the position
+    # table since the last one.
+    target_by_pos = {pos: constraint.target
+                     for constraint, pos in constraint_pos.items()}
+    return [_route_task(task, router, target_by_pos) for task in tasks]
+
+
+class _Cell:
+    """One in-flight ``(kind, constraint, combo)`` fetch shared by every
+    execution that needs it. Per-shard fragments accumulate here (shard
+    payloads are disjoint by ownership, so accumulation order does not
+    matter — delivery normalizes by sorting exactly like the barrier
+    driver's shard-order merge)."""
+
+    __slots__ = ("key", "done", "payload", "info", "checked", "found",
+                 "waiters")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self.done = False
+        self.payload: list = []        # fetch payload / edge entries
+        self.info: dict = {}           # fetch only: {v: (label, value)}
+        self.checked = 0               # probe only
+        self.found: list = []          # probe only
+        self.waiters: list[_ExeState] = []
+
+
+class _ExeState:
+    """Driver-side bookkeeping for one execution between deliveries."""
+
+    __slots__ = ("exe", "tasks", "task_cells", "missing")
+
+    def __init__(self, exe: _ScatterExecution):
+        self.exe = exe
+        self.tasks = None         # logical tasks of the current step
+        self.task_cells = None    # list[list[_Cell]] aligned with tasks
+        self.missing = 0          # cells not yet done across all tasks
+
+
+def _cell_keys(task: tuple) -> list[tuple]:
+    kind = task[0]
+    if kind == TASK_PROBE:
+        return [(TASK_PROBE, tuple(task[1]), tuple(task[2]))]
+    return [(kind, task[1], combo) for combo in task[2]]
+
+
+def _deliver_state(state: _ExeState) -> None:
+    """Deliver a step's tasks (in issue order) from their completed
+    cells. Each task is handed to :meth:`_ScatterExecution.deliver` as
+    a single pre-merged pseudo-shard response, which the existing
+    delivery path normalizes (sort / sum / union) exactly as it does
+    the barrier driver's shard-order merge."""
+    for task, cells in zip(state.tasks, state.task_cells):
+        kind = task[0]
+        if kind == TASK_FETCH:
+            info: dict = {}
+            payloads = []
+            for cell in cells:
+                payloads.append(cell.payload)
+                info.update(cell.info)
+            state.exe.deliver(task, [(payloads, info)])
+        elif kind == TASK_EDGE:
+            state.exe.deliver(task, [[cell.payload for cell in cells]])
+        else:
+            cell = cells[0]
+            state.exe.deliver(task, [(cell.checked, cell.found)])
+    state.tasks = None
+    state.task_cells = None
+
+
+def _advance_state(state: _ExeState, cells: dict, fresh: list) -> int:
+    """Pull the execution's next tasks and bind them to cells, creating
+    cells (appended to ``fresh``) for fetches nobody has issued yet.
+    Steps whose cells are all already complete are delivered inline and
+    the execution keeps advancing. Returns the number of dedup hits
+    (references to cells created by another execution)."""
+    exe = state.exe
+    hits = 0
+    while not exe.done:
+        tasks = exe.next_tasks()
+        if not tasks:
+            break
+        missing = 0
+        groups = []
+        for task in tasks:
+            group = []
+            for key in _cell_keys(task):
+                cell = cells.get(key)
+                if cell is None:
+                    cell = _Cell(key)
+                    cells[key] = cell
+                    fresh.append(cell)
+                else:
+                    hits += 1
+                group.append(cell)
+                if not cell.done:
+                    missing += 1
+                    cell.waiters.append(state)
+            groups.append(group)
+        state.tasks = tasks
+        state.task_cells = groups
+        state.missing = missing
+        if missing:
+            return hits
+        _deliver_state(state)
+    return hits
+
+
+def _group_cells(fresh: list) -> tuple[list, list]:
+    """Coalesce fresh cells into wire tasks: fetch/edge cells group by
+    ``(kind, cpos)`` in first-seen order (all combos of one constraint
+    share a routing set), probes stay single-cell tasks."""
+    wire_tasks: list = []
+    wire_groups: list[list[_Cell]] = []
+    index: dict = {}
+    for cell in fresh:
+        kind = cell.key[0]
+        if kind == TASK_PROBE:
+            wire_tasks.append((TASK_PROBE, list(cell.key[1]),
+                               list(cell.key[2])))
+            wire_groups.append([cell])
+            continue
+        gkey = (kind, cell.key[1])
+        at = index.get(gkey)
+        if at is None:
+            index[gkey] = len(wire_tasks)
+            wire_tasks.append((kind, cell.key[1], [cell.key[2]]))
+            wire_groups.append([cell])
+        else:
+            wire_tasks[at][2].append(cell.key[2])
+            wire_groups[at].append(cell)
+    return wire_tasks, wire_groups
+
+
+def _absorb_response(task: tuple, cells: list, responses: list,
+                     ready: list) -> None:
+    """Split one wire task's per-shard responses into its cells, mark
+    them done, and collect executions whose last missing cell this was."""
+    kind = task[0]
+    if kind == TASK_FETCH:
+        for response in responses:
+            if response is None:
+                continue
+            payloads, info = response
+            for cell, payload in zip(cells, payloads):
+                cell.payload.extend(payload)
+                for v in payload:
+                    cell.info[v] = info[v]
+    elif kind == TASK_EDGE:
+        for payloads in responses:
+            if payloads is None:
+                continue
+            for cell, payload in zip(cells, payloads):
+                cell.payload.extend(payload)
+    else:
+        cell = cells[0]
+        for response in responses:
+            if response is None:
+                continue
+            count, found = response
+            cell.checked += count
+            cell.found.extend(found)
+    for cell in cells:
+        cell.done = True
+        for state in cell.waiters:
+            state.missing -= 1
+            if not state.missing:
+                ready.append(state)
+        cell.waiters = []
+
+
+def _run_pipelined(exes, backend, constraint_pos, router) -> None:
+    """Per-shard-progress driver over ``backend.scatter_submit``.
+
+    Completions arrive per wire task on a queue (possibly from backend
+    reader threads); an execution is re-advanced the moment its own
+    cells are complete. Identity with the sequential executor holds
+    because (a) each execution still observes its tasks in issue order,
+    delivered only when fully merged, (b) cell fragments merge
+    order-independently (sorted payloads, summed probe counts), and
+    (c) every execution records its own ``AccessStats`` at delivery —
+    dedup shares wire traffic, never accounting.
+    """
+    states = [_ExeState(exe) for exe in exes]
+    cells: dict[tuple, _Cell] = {}
+    completions: _queue_mod.Queue = _queue_mod.Queue()
+    outstanding = 0
+    dedup_hits = 0
+    wave_index = 0
+    ready = list(states)
+    while True:
+        fresh: list[_Cell] = []
+        for state in ready:
+            if state.tasks is not None:
+                _deliver_state(state)
+            dedup_hits += _advance_state(state, cells, fresh)
+        ready = []
+        if fresh:
+            wire_tasks, wire_groups = _group_cells(fresh)
+            shard_sets = _route_tasks(wire_tasks, constraint_pos, router)
+
+            def _on_task(i, responses, _tasks=wire_tasks,
+                         _groups=wire_groups):
+                completions.put((_tasks[i], _groups[i], responses))
+
+            with child_span("wave", index=wave_index,
+                            tasks=len(wire_tasks)):
+                backend.scatter_submit(wire_tasks, shard_sets, _on_task)
+            outstanding += len(wire_tasks)
+            wave_index += 1
+        if not outstanding:
+            break
+        task, group, responses = completions.get()
+        outstanding -= 1
+        while True:
+            if isinstance(responses, Exception):
+                raise responses
+            _absorb_response(task, group, responses, ready)
+            try:
+                task, group, responses = completions.get_nowait()
+            except _queue_mod.Empty:
+                break
+            outstanding -= 1
+    if dedup_hits:
+        backend.scatter_dedup_hits = getattr(
+            backend, "scatter_dedup_hits", 0) + dedup_hits
 
 
 def run_shard_task(graph, schema_index, owned: frozenset, task: tuple):

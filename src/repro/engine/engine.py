@@ -238,6 +238,11 @@ class QueryEngine:
         under every strategy.
     """
 
+    #: Scatter driver for sharded sessions: True (default) runs the
+    #: pipelined per-shard-progress executor, False the lock-step wave
+    #: barrier. Threaded from ``SessionConfig.scatter_pipeline``.
+    scatter_pipeline = True
+
     #: Accepted ``executor=`` arguments.
     EXECUTORS = ("auto", "sequential", "vectorized")
 
@@ -408,7 +413,8 @@ class QueryEngine:
     @classmethod
     def _assemble_from_shards(cls, backend, schema, graph_summary, *,
                               plan_cache: PlanCache | None = None,
-                              cache_size: int = 128) -> "QueryEngine":
+                              cache_size: int = 128,
+                              scatter_pipeline: bool = True) -> "QueryEngine":
         """The real sharded-session assembly behind
         :func:`repro.connect`. The session holds no graph or
         index of its own — only the plan compiler, the caches, and the
@@ -430,6 +436,7 @@ class QueryEngine:
         engine._maintained = None
         engine._schema_index = None
         engine._executor = "sequential"  # unused: plans go through shards
+        engine.scatter_pipeline = scatter_pipeline
         return engine
 
     def save(self, path, *, shards: int | None = None,
@@ -686,7 +693,8 @@ class QueryEngine:
                             plans=len(to_execute)):
                 executions = execute_plans_scatter(
                     [prepared.plan for _, prepared in to_execute],
-                    self._shards, stats_list=stats_list)
+                    self._shards, stats_list=stats_list,
+                    pipeline=self.scatter_pipeline)
             for (run_key, prepared), execution, run_stats in zip(
                     to_execute, executions, stats_list):
                 runs[run_key] = prepared._finish_run(execution)
@@ -803,7 +811,8 @@ class QueryEngine:
                             plans=len(plans)):
                 return execute_plans_scatter(plans, self._shards,
                                              stats_list=stats_list,
-                                             edge_mode=edge_mode)
+                                             edge_mode=edge_mode,
+                                             pipeline=self.scatter_pipeline)
         if self._executor == "vectorized":
             from repro.core.kernels import execute_plan_vectorized
             with child_span("execute", strategy="vectorized",

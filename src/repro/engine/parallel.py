@@ -40,12 +40,14 @@ Three implementations live here:
   bounded retry with backoff on transient faults, and typed
   :class:`~repro.errors.ShardUnavailable` errors once retries exhaust.
 
-Thread safety: ``scatter`` takes an internal lock for the duration of a
-round (inline excepted — frozen reads need none), so a frozen sharded
-engine can serve the query server's worker threads — rounds serialize,
-which bounds multiplexing complexity at the cost of round-level
-concurrency (micro-batching already funnels concurrent requests into
-shared rounds, so little is lost).
+Thread safety: the in-process backends serialize ``scatter`` rounds
+(inline excepted — frozen reads need none). The remote backend is
+pipelined: requests are correlated by id, each connection has a reader
+thread, and ``scatter_submit`` lets several rounds overlap on the same
+connections — per-task completion callbacks fire from the reader
+threads the moment a task's own shards have answered. Retry backoff
+runs on the per-shard reader thread, so one shard mid-backoff never
+stalls another shard's traffic.
 """
 
 from __future__ import annotations
@@ -237,6 +239,12 @@ class ShardBackend(abc.ABC):
         self.tasks_scattered = 0
         self.scatter_messages = 0
         self.scatter_messages_broadcast = 0
+        #: Pipelining accounting: rounds submitted while a previous
+        #: round was still in flight (only an asynchronous backend can
+        #: overlap rounds), and cross-execution cell-dedup hits credited
+        #: by the pipelined executor driver.
+        self.rounds_overlapped = 0
+        self.scatter_dedup_hits = 0
 
     # -- contract -------------------------------------------------------------
     @property
@@ -256,6 +264,27 @@ class ShardBackend(abc.ABC):
         """Run one wave of tasks; one response list per shard, aligned
         with ``tasks``. With ``shard_sets``, a shard's entry for a task
         it was not routed is ``None``."""
+
+    def scatter_submit(self, tasks: list[tuple],
+                       shard_sets: list | None = None,
+                       on_task=None) -> None:
+        """Pipelined scatter: submit one round and complete tasks
+        individually. ``on_task(i, responses)`` fires exactly once per
+        task index — with the task's per-shard response row (aligned
+        with shard order, ``None`` for unrouted shards) once every
+        routed shard answered, or with an :class:`Exception` when the
+        task's round failed. Completions may arrive on backend reader
+        threads, out of submission order, and before this call returns.
+
+        The base implementation is synchronous — it runs
+        :meth:`scatter` and completes every task before returning —
+        which gives the in-process backends pipelined-driver support
+        with barrier cost semantics. :class:`RemoteShardBackend`
+        overrides it with a truly asynchronous path.
+        """
+        responses = self.scatter(tasks, shard_sets)
+        for i in range(len(tasks)):
+            on_task(i, [row[i] for row in responses])
 
     @abc.abstractmethod
     def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
@@ -628,19 +657,39 @@ class _ScatterEncoder:
         return head[:-1] + b',"tasks":' + self._json_fragment(key) + b"}\n"
 
 
+class _PendingRequest:
+    """One in-flight request on a shard connection: the encoded frame
+    bytes (kept for retransmission after a reconnect — the request id is
+    reused, so correlation survives), the completion callback, and the
+    optional ``shard_rpc`` span the completion closes."""
+
+    __slots__ = ("rid", "data", "on_done", "span")
+
+    def __init__(self, rid: int, data: bytes, on_done, span):
+        self.rid = rid
+        self.data = data
+        self.on_done = on_done
+        self.span = span
+
+
 class _ShardConn:
     """One front-end connection to one ``repro shard-serve`` process.
 
-    Not thread-safe on its own — :class:`RemoteShardBackend` serializes
-    rounds under its lock. ``sock is None`` means "currently
-    disconnected"; the backend reconnects (and re-handshakes) on demand.
-    The wire counters (bytes each way, encode seconds) persist across
+    Requests are correlated by id, so several may be in flight at once:
+    submitters append to ``pending`` and send under ``lock``, while the
+    connection's reader thread (:meth:`RemoteShardBackend._reader_loop`)
+    pops completions as response frames arrive, in whatever order the
+    server answers rounds. ``sock is None`` means "currently
+    disconnected"; the reader reconnects (re-handshakes, replays
+    extensions, retransmits ``pending``) on demand. The wire counters
+    (bytes each way, encode seconds, in-flight peak) persist across
     reconnects — they describe the shard's slot, not one socket.
     """
 
     __slots__ = ("addr", "host", "port", "sock", "file", "shard_id",
                  "next_id", "codec", "bytes_sent", "bytes_received",
-                 "encode_s")
+                 "encode_s", "lock", "cond", "pending", "reader",
+                 "fail_streak", "inflight_peak")
 
     def __init__(self, addr: str):
         self.addr = addr
@@ -653,6 +702,16 @@ class _ShardConn:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.encode_s = 0.0
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.pending: dict[int, _PendingRequest] = {}
+        self.reader: threading.Thread | None = None
+        #: Consecutive transient faults with no successfully-read frame
+        #: in between — the retry budget spans reconnects that only
+        #: manage to fail again (e.g. a server that truncates every
+        #: response).
+        self.fail_streak = 0
+        self.inflight_peak = 0
 
     def send(self, doc: dict) -> int:
         from repro.server import protocol
@@ -891,126 +950,308 @@ class RemoteShardBackend(ShardBackend):
             conn.call({"op": "extend",
                        "constraints": list(self._applied_extensions)})
 
-    def _retry_request(self, conn: _ShardConn, doc: dict,
-                       first_error: Exception, span=None) -> dict:
-        """Bounded retry with backoff after a transient fault; raises
-        :class:`~repro.errors.ShardUnavailable` once exhausted. ``span``
-        is the round's per-shard RPC span, which accumulates the retry
-        and reconnect counts the trace reports."""
-        last = first_error
-        for attempt in range(self.retries):
-            time.sleep(self.retry_backoff_s * (2 ** attempt))
-            try:
-                if span is not None:
-                    span.set(retries=attempt + 1,
-                             reconnects=span.attrs.get("reconnects", 0) + 1)
-                self._reconnect(conn)
-                return conn.call(doc)
-            except _TRANSIENT as exc:
-                last = exc
-            except ShardUnavailable as exc:
-                last = exc
-        raise ShardUnavailable(
-            f"shard server {conn.addr} (shard {conn.shard_id}) is "
-            f"unavailable after {self.retries + 1} attempts: {last}",
-            addr=conn.addr, shard_id=conn.shard_id,
-            attempts=self.retries + 1) from None
+    # -- pipelined submission -------------------------------------------------
+    def _submit(self, conn: _ShardConn, doc: dict, on_done, span=None) -> int:
+        """Register and send one request on ``conn``; ``on_done`` fires
+        exactly once — with the response frame, or with a typed
+        exception — from the connection's reader thread (or inline for
+        server-side typed errors read there). Never blocks on the
+        network beyond the send itself: faults are handed to the reader
+        thread, whose bounded reconnect/retransmit path runs its backoff
+        without holding any lock another shard's traffic needs."""
+        from repro.server import protocol
+
+        started = time.perf_counter()
+        scatter = doc.get("_scatter")
+        with conn.lock:
+            if self._closed:
+                raise EngineError("remote shard backend is closed")
+            conn.next_id += 1
+            rid = conn.next_id
+            if scatter is not None:
+                encoder, key = scatter
+                envelope = {"id": rid, **{k: v for k, v in doc.items()
+                                          if k != "_scatter"}}
+                data = encoder.encode(conn.codec or protocol.CODEC_JSON,
+                                      key, envelope)
+            else:
+                data = protocol.encode({"id": rid, **doc})
+            conn.encode_s += time.perf_counter() - started
+            conn.pending[rid] = _PendingRequest(rid, data, on_done, span)
+            depth = len(conn.pending)
+            if depth > conn.inflight_peak:
+                conn.inflight_peak = depth
+            self._ensure_reader(conn)
+            if conn.sock is not None:
+                try:
+                    conn.sock.sendall(data)
+                    conn.bytes_sent += len(data)
+                except OSError:
+                    # Leave the entry pending: the reader notices the
+                    # dead socket and reconnects + retransmits.
+                    conn.close()
+            conn.cond.notify_all()
+        return rid
+
+    def _ensure_reader(self, conn: _ShardConn) -> None:
+        """Start (or restart) the connection's reader thread. Caller
+        holds ``conn.lock``."""
+        if conn.reader is None or not conn.reader.is_alive():
+            conn.reader = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"repro-shard-reader-{conn.addr}", daemon=True)
+            conn.reader.start()
+
+    def _reader_loop(self, conn: _ShardConn) -> None:
+        """Per-connection reader: correlates response frames to pending
+        requests by id. Sleeps (condition wait) whenever nothing is
+        pending, so an idle connection never trips the read timeout.
+        Exits after exhausting the retry budget or desynchronizing —
+        the next submit starts a fresh reader."""
+        from repro.server import protocol
+
+        try:
+            while True:
+                with conn.lock:
+                    while not conn.pending and not self._closed:
+                        conn.cond.wait()
+                    if self._closed:
+                        break
+                    file = conn.file
+                    disconnected = conn.sock is None
+                if disconnected:
+                    if not self._recover(conn, ShardUnavailable(
+                            f"connection to shard server {conn.addr} "
+                            f"is down", addr=conn.addr,
+                            shard_id=conn.shard_id)):
+                        return
+                    continue
+                try:
+                    frame = protocol.read_frame(file)
+                except ShardProtocolError as exc:
+                    # Wire garbage — the stream cannot be trusted.
+                    self._fail_pending(conn, ShardProtocolError(
+                        f"shard {conn.addr}: {exc}", addr=conn.addr))
+                    return
+                except (OSError, EOFError, ValueError) as exc:
+                    # Timeout, reset, peer hang-up, or our own side
+                    # closing the socket mid-read: transient.
+                    conn.close()
+                    if not self._recover(conn, exc):
+                        return
+                    continue
+                conn.bytes_received += frame.nbytes
+                rid = frame.get("id")
+                with conn.lock:
+                    entry = conn.pending.pop(rid, None)
+                    conn.fail_streak = 0
+                if entry is None:
+                    self._fail_pending(conn, ShardProtocolError(
+                        f"shard {conn.addr}: response id {rid!r} matches "
+                        f"no in-flight request", addr=conn.addr))
+                    return
+                if not frame.get("ok"):
+                    # Typed server-side error; the stream stays in sync.
+                    try:
+                        protocol.raise_error(frame)
+                    except ReproError as exc:
+                        self._complete(entry, exc)
+                    continue
+                self._complete(entry, frame)
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._fail_pending(conn, ShardUnavailable(
+                f"shard reader for {conn.addr} failed: {exc!r}",
+                addr=conn.addr, shard_id=conn.shard_id))
+            raise
+
+    def _recover(self, conn: _ShardConn, error: Exception) -> bool:
+        """Bounded reconnect/retransmit after a transient fault, run on
+        the connection's reader thread — the backoff sleeps hold no
+        lock, so every other shard keeps answering while this one is
+        mid-backoff. The retry budget (``fail_streak``) only resets when
+        a response frame is actually read, so a server that reconnects
+        happily but keeps truncating responses still exhausts it.
+        Returns False once the pending requests have been failed."""
+        last = error
+        while True:
+            with conn.lock:
+                if self._closed:
+                    break
+                conn.fail_streak += 1
+                attempt = conn.fail_streak
+            if attempt > self.retries:
+                self._fail_pending(conn, ShardUnavailable(
+                    f"shard server {conn.addr} (shard {conn.shard_id}) "
+                    f"is unavailable after {self.retries + 1} attempts: "
+                    f"{last}", addr=conn.addr, shard_id=conn.shard_id,
+                    attempts=self.retries + 1))
+                return False
+            time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+            fatal = None
+            with conn.lock:
+                if self._closed:
+                    break
+                for entry in conn.pending.values():
+                    if entry.span is not None:
+                        entry.span.set(
+                            retries=attempt,
+                            reconnects=entry.span.attrs.get(
+                                "reconnects", 0) + 1)
+                try:
+                    self._reconnect(conn)
+                    for rid in sorted(conn.pending):
+                        data = conn.pending[rid].data
+                        conn.sock.sendall(data)
+                        conn.bytes_sent += len(data)
+                    return True
+                except _TRANSIENT as exc:
+                    conn.close()
+                    last = exc
+                except ShardUnavailable as exc:
+                    last = exc
+                except ReproError as exc:
+                    # Handshake disagreement — a deployment bug, not
+                    # weather; no amount of retrying fixes it.
+                    fatal = exc
+            if fatal is not None:
+                self._fail_pending(conn, fatal)
+                return False
+        self._fail_pending(conn, ShardUnavailable(
+            "remote shard backend is closed", addr=conn.addr,
+            shard_id=conn.shard_id))
+        return False
+
+    def _fail_pending(self, conn: _ShardConn, exc: Exception) -> None:
+        """Fail every in-flight request on ``conn`` with ``exc`` (in
+        request order) and reset the retry budget — the next round
+        starts with a fresh one, exactly like the pre-pipelined
+        per-round retry semantics."""
+        with conn.lock:
+            entries = [conn.pending[rid] for rid in sorted(conn.pending)]
+            conn.pending.clear()
+            conn.fail_streak = 0
+            conn.close()
+            conn.cond.notify_all()
+        for entry in entries:
+            self._complete(entry, exc)
+
+    @staticmethod
+    def _complete(entry: _PendingRequest, result) -> None:
+        """Close the request's span and fire its callback exactly once.
+        Spans may end on reader threads — ``Trace.record`` is written
+        for that."""
+        span = entry.span
+        if span is not None:
+            if isinstance(result, Exception):
+                span.set(error=type(result).__name__)
+            elif isinstance(result, dict) and "server_ms" in result:
+                span.set(server_ms=result["server_ms"])
+            span.end()
+        if entry.on_done is not None:
+            entry.on_done(result)
 
     def _request_round(self, messages: dict[int, dict]) -> dict[int, dict]:
-        """Send one request per participating shard, then gather the
-        responses — the sends go out before any read, so the fleet works
-        the round concurrently while this thread blocks on the slowest
-        shard. Transient per-shard faults fall back to the bounded retry
-        path; rounds serialize under the backend lock. Every pending
-        response is drained before any error is raised (each shard sends
-        exactly one response per round, and leaving one queued would
-        desynchronize the next round's connections).
+        """Send one request per participating shard and gather the
+        responses. All sends go out before any wait, the fleet works the
+        round concurrently, and per-shard faults retry on the per-shard
+        reader threads — a healthy shard's answer is consumed while an
+        unhealthy one is still mid-backoff. Every shard's completion is
+        awaited before any error is raised (completions are exactly-once
+        per request, so nothing is left to desynchronize later rounds).
 
         With a span active in the calling context, each participating
         shard gets a ``shard_rpc`` child span and its request carries the
         trace context as the optional ``trace`` wire field — the shard
         server stamps its request log with the same trace id and reports
         its server-side time back as ``server_ms``."""
+        if not messages:
+            return {}
         parent = current_span()
-        spans: dict[int, object] = {}
-        if parent is not None:
-            from repro.server import protocol
+        lock = threading.Lock()
+        done = threading.Event()
+        results: dict[int, object] = {}
 
-            traced: dict[int, dict] = {}
-            for shard_id, doc in messages.items():
+        def _gather(shard_id):
+            def on_done(result):
+                with lock:
+                    results[shard_id] = result
+                    if len(results) == len(messages):
+                        done.set()
+            return on_done
+
+        for shard_id, doc in messages.items():
+            span = None
+            if parent is not None:
+                from repro.server import protocol
+
                 span = parent.child("shard_rpc", shard=shard_id,
                                     addr=self._conns[shard_id].addr,
                                     rpc=str(doc.get("op")))
-                spans[shard_id] = span
-                traced[shard_id] = {**doc,
-                                    "trace": protocol.encode_trace(span)}
-            messages = traced
-        results: dict[int, dict] = {}
-        try:
-            with self._lock:
-                if self._closed:
-                    raise EngineError("remote shard backend is closed")
-                errors: list[Exception] = []
-                pending: list[tuple[int, int]] = []
-                for shard_id, doc in messages.items():
-                    conn = self._conns[shard_id]
-                    try:
-                        if conn.sock is None:
-                            self._reconnect(conn)
-                        pending.append((shard_id, conn.send(doc)))
-                    except _TRANSIENT as exc:
-                        try:
-                            results[shard_id] = self._retry_request(
-                                conn, doc, exc, span=spans.get(shard_id))
-                        except ReproError as final:
-                            errors.append(final)
-                    except ReproError as exc:  # e.g. handshake disagreement
-                        errors.append(exc)
-                for shard_id, request_id in pending:
-                    conn = self._conns[shard_id]
-                    try:
-                        results[shard_id] = conn.recv(request_id)
-                    except _TRANSIENT as exc:
-                        conn.close()
-                        try:
-                            results[shard_id] = self._retry_request(
-                                conn, messages[shard_id], exc,
-                                span=spans.get(shard_id))
-                        except ReproError as final:
-                            errors.append(final)
-                    except ShardProtocolError as exc:
-                        # The stream is desynchronized — force a fresh
-                        # connection before this shard is used again.
-                        conn.close()
-                        errors.append(exc)
-                    except ReproError as exc:
-                        # Typed server-side error; the connection stays
-                        # in sync.
-                        errors.append(exc)
-                if errors:
-                    raise errors[0]
-                return results
-        finally:
-            for shard_id, span in spans.items():
-                result = results.get(shard_id)
-                if isinstance(result, dict) and "server_ms" in result:
-                    span.set(server_ms=result["server_ms"])
-                span.end()
+                doc = {**doc, "trace": protocol.encode_trace(span)}
+            self._submit(self._conns[shard_id], doc, _gather(shard_id),
+                         span=span)
+        done.wait()
+        out: dict[int, dict] = {}
+        errors: list[Exception] = []
+        for shard_id in sorted(messages):
+            result = results[shard_id]
+            if isinstance(result, Exception):
+                errors.append(result)
+            else:
+                out[shard_id] = result
+        if errors:
+            raise errors[0]
+        return out
 
     # -- contract -------------------------------------------------------------
     @property
     def num_shards(self) -> int:
         return len(self._shard_ids)
 
-    def scatter(self, tasks: list[tuple],
-                shard_sets: list | None = None) -> list[list]:
+    def _decode_scatter(self, conn: _ShardConn, result: dict,
+                        kinds: list[str]) -> list:
+        """Decode one shard's scatter response frame into per-task
+        values aligned with the task indices it was sent."""
+        from repro.server import protocol
+
+        if "responses_meta" in result:
+            decoded = protocol.decode_shard_responses_binary(
+                result["responses_meta"],
+                getattr(result, "payloads", ()),
+                expected_kinds=kinds)
+            if len(decoded) != len(kinds):
+                raise ShardProtocolError(
+                    f"shard {conn.addr}: scatter response does not "
+                    f"align with the {len(kinds)} tasks sent",
+                    addr=conn.addr)
+            return decoded
+        payload = result.get("responses")
+        if not isinstance(payload, list) or len(payload) != len(kinds):
+            raise ShardProtocolError(
+                f"shard {conn.addr}: scatter response does not align "
+                f"with the {len(kinds)} tasks sent", addr=conn.addr)
+        return [protocol.decode_shard_response(kind, encoded)
+                for kind, encoded in zip(kinds, payload)]
+
+    def scatter_submit(self, tasks: list[tuple],
+                       shard_sets: list | None = None,
+                       on_task=None) -> None:
+        """Asynchronous scatter: each task completes — ``on_task(i,
+        per-shard row)`` — the moment its own routed shards have
+        answered, independent of the rest of the round, and response
+        decode runs on the reader threads, overlapping the network and
+        the other shards' compute. Several rounds may be in flight on
+        the same connections at once (request-id correlation keeps them
+        straight); ``rounds_overlapped`` counts the rounds submitted
+        while an earlier one was still pending."""
         from repro.server import protocol
 
         self._record_round(tasks, shard_sets)
+        if any(conn.pending for conn in self._conns.values()):
+            self.rounds_overlapped += 1
         # One encoder per round: identical task lists (every shard under
         # broadcast) are encoded once and the bytes reused per shard.
         encoder = _ScatterEncoder(tasks)
-        messages: dict[int, dict] = {}
         sent_indices: dict[int, tuple[int, ...]] = {}
         for shard_id in self._shard_ids:
             if shard_sets is None:
@@ -1018,45 +1259,89 @@ class RemoteShardBackend(ShardBackend):
             else:
                 indices = tuple(i for i, routed in enumerate(shard_sets)
                                 if shard_id in routed)
-            if not indices:
-                continue  # no message at all — the owner-routing win
-            sent_indices[shard_id] = indices
-            messages[shard_id] = {"op": "scatter",
-                                  "_scatter": (encoder, indices)}
-        results = self._request_round(messages)
-        responses = []
-        for shard_id in self._shard_ids:
-            row: list = [None] * len(tasks)
-            if shard_id in results:
-                conn = self._conns[shard_id]
-                result = results[shard_id]
-                indices = sent_indices[shard_id]
-                kinds = [tasks[i][0] for i in indices]
-                if "responses_meta" in result:
-                    decoded = protocol.decode_shard_responses_binary(
-                        result["responses_meta"],
-                        getattr(result, "payloads", ()),
-                        expected_kinds=kinds)
-                    if len(decoded) != len(indices):
-                        raise ShardProtocolError(
-                            f"shard {conn.addr}: scatter response does "
-                            f"not align with the {len(indices)} tasks "
-                            f"sent", addr=conn.addr)
-                    for i, value in zip(indices, decoded):
-                        row[i] = value
+            if indices:
+                sent_indices[shard_id] = indices
+        remaining = [0] * len(tasks)
+        for indices in sent_indices.values():
+            for i in indices:
+                remaining[i] += 1
+        rows: list[list] = [[None] * self.num_shards for _ in tasks]
+        state_lock = threading.Lock()
+
+        # Tasks routed to no shard at all (unknown label) complete
+        # immediately with an all-None row, exactly like the barrier
+        # path's broadcast-of-nothing.
+        for i, count in enumerate(remaining):
+            if count == 0:
+                on_task(i, rows[i])
+
+        def _shard_done(shard_id, indices, result):
+            conn = self._conns[shard_id]
+            decoded = None
+            if not isinstance(result, Exception):
+                try:
+                    decoded = self._decode_scatter(
+                        conn, result, [tasks[i][0] for i in indices])
+                except ReproError as exc:
+                    result = exc
+            fired = []
+            with state_lock:
+                if isinstance(result, Exception):
+                    for i in indices:
+                        if remaining[i] > 0:
+                            remaining[i] = -1  # exactly-once per task
+                            fired.append((i, result))
                 else:
-                    payload = result.get("responses")
-                    if not isinstance(payload, list) \
-                            or len(payload) != len(indices):
-                        raise ShardProtocolError(
-                            f"shard {conn.addr}: scatter response does "
-                            f"not align with the {len(indices)} tasks "
-                            f"sent", addr=conn.addr)
-                    for i, encoded in zip(indices, payload):
-                        row[i] = protocol.decode_shard_response(
-                            tasks[i][0], encoded)
-            responses.append(row)
-        return responses
+                    for i, value in zip(indices, decoded):
+                        if remaining[i] <= 0:
+                            continue
+                        rows[i][shard_id] = value
+                        remaining[i] -= 1
+                        if remaining[i] == 0:
+                            fired.append((i, rows[i]))
+            for i, outcome in fired:
+                on_task(i, outcome)
+
+        parent = current_span()
+        for shard_id, indices in sent_indices.items():
+            conn = self._conns[shard_id]
+            doc: dict = {"op": "scatter", "_scatter": (encoder, indices)}
+            span = None
+            if parent is not None:
+                span = parent.child("shard_rpc", shard=shard_id,
+                                    addr=conn.addr, rpc="scatter")
+                doc["trace"] = protocol.encode_trace(span)
+            self._submit(
+                conn, doc,
+                lambda result, _sid=shard_id, _ind=indices:
+                    _shard_done(_sid, _ind, result),
+                span=span)
+
+    def scatter(self, tasks: list[tuple],
+                shard_sets: list | None = None) -> list[list]:
+        if not tasks:
+            self._record_round(tasks, shard_sets)
+            return [[] for _ in self._shard_ids]
+        lock = threading.Lock()
+        done = threading.Event()
+        outcomes: dict[int, object] = {}
+
+        def on_task(i, outcome):
+            with lock:
+                outcomes[i] = outcome
+                if len(outcomes) == len(tasks):
+                    done.set()
+
+        self.scatter_submit(tasks, shard_sets, on_task)
+        done.wait()
+        for i in range(len(tasks)):
+            outcome = outcomes[i]
+            if isinstance(outcome, Exception):
+                raise outcome
+        # scatter_submit completes per task row; the synchronous
+        # contract wants per-shard rows — transpose.
+        return [[outcomes[i][slot] for i in range(len(tasks))]
+                for slot, _ in enumerate(self._shard_ids)]
 
     def extension_stats(self, labels: Sequence[str]) -> list[tuple]:
         from repro.server import protocol
@@ -1124,7 +1409,9 @@ class RemoteShardBackend(ShardBackend):
                         "codec": conn.codec or "json",
                         "bytes_sent": conn.bytes_sent,
                         "bytes_received": conn.bytes_received,
-                        "encode_ms": round(conn.encode_s * 1000.0, 3)})
+                        "encode_ms": round(conn.encode_s * 1000.0, 3),
+                        "inflight": len(conn.pending),
+                        "inflight_peak": conn.inflight_peak})
         return out
 
     def reload_fleet(self) -> list[dict]:
@@ -1140,13 +1427,16 @@ class RemoteShardBackend(ShardBackend):
 
     def close(self) -> None:
         """Close the fleet connections (idempotent). The servers keep
-        running — they belong to the deployment, not to this session."""
+        running — they belong to the deployment, not to this session.
+        Reader threads wake, fail any still-pending requests, and
+        exit."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            for conn in self._conns.values():
-                conn.close()
+        for conn in self._conns.values():
+            self._fail_pending(conn, EngineError(
+                "remote shard backend is closed"))
 
     def __repr__(self) -> str:
         addrs = [self._conns[shard_id].addr for shard_id in self._shard_ids

@@ -567,7 +567,8 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                 connect_timeout: float = 5.0,
                 request_timeout: float = 30.0,
                 retries: int = 2, retry_backoff_s: float = 0.1,
-                owner_routing: bool = True, wire_format: str = "auto"):
+                owner_routing: bool = True, wire_format: str = "auto",
+                scatter_pipeline: bool = True):
     """Open a :class:`~repro.engine.engine.QueryEngine` from an artifact.
 
     The frozen path (default) is the warm start: CSR buffers are adopted
@@ -649,7 +650,8 @@ def load_engine(path, *, frozen: bool = True, validate: bool = False,
                                     retries=retries,
                                     retry_backoff_s=retry_backoff_s,
                                     owner_routing=owner_routing,
-                                    wire_format=wire_format)
+                                    wire_format=wire_format,
+                                    scatter_pipeline=scatter_pipeline)
     if workers:
         raise EngineError(
             f"artifact at {path} is not sharded; open it without workers, "
@@ -1052,7 +1054,8 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
                          request_timeout: float = 30.0,
                          retries: int = 2, retry_backoff_s: float = 0.1,
                          owner_routing: bool = True,
-                         wire_format: str = "auto"):
+                         wire_format: str = "auto",
+                         scatter_pipeline: bool = True):
     from repro.engine.engine import QueryEngine
     from repro.engine.parallel import (
         InlineShardBackend,
@@ -1160,6 +1163,7 @@ def _load_sharded_engine(path: Path, manifest: dict, *, validate: bool,
     engine = QueryEngine.from_shards(shards, catalog, summary,
                                      plan_cache=plan_cache,
                                      cache_size=cache_size)
+    engine.scatter_pipeline = scatter_pipeline
     engine.artifact_path = path
     return engine
 

@@ -33,7 +33,8 @@ _SHARD_FIELDS = ("requests", "scatter_rounds", "tasks_handled",
 
 #: Backend scatter counters (front-end side) from the ``backend`` block.
 _BACKEND_FIELDS = ("scatter_rounds", "tasks_scattered", "scatter_messages",
-                   "scatter_messages_broadcast", "reconnects")
+                   "scatter_messages_broadcast", "reconnects",
+                   "rounds_overlapped")
 
 
 def _escape(value) -> str:
@@ -127,6 +128,11 @@ def render_prometheus(snapshot: dict) -> str:
         for field in _BACKEND_FIELDS:
             w.sample(f"repro_backend_{field}_total", backend.get(field),
                      kind="counter")
+        w.sample("repro_scatter_dedup_hits_total",
+                 backend.get("scatter_dedup_hits"), kind="counter",
+                 help_text=("Cross-execution fetch/edge cells answered "
+                            "from an in-flight duplicate instead of a "
+                            "second shard round trip."))
         # Front-end wire telemetry: bytes each way per shard connection
         # plus cumulative request-encode time, negotiated codec as an
         # info-style gauge.
@@ -152,6 +158,15 @@ def render_prometheus(snapshot: dict) -> str:
                       "codec": str(entry.get("codec", "json"))},
                      help_text=("Negotiated wire codec per shard "
                                 "connection (info gauge)."))
+            w.sample("repro_shard_inflight", entry.get("inflight"),
+                     {"shard": shard_label},
+                     help_text=("Requests currently awaiting a response "
+                                "on the shard connection."))
+            w.sample("repro_shard_inflight_peak", entry.get("inflight_peak"),
+                     {"shard": shard_label},
+                     help_text=("High-water mark of concurrently "
+                                "in-flight requests per shard "
+                                "connection."))
 
     for shard in snapshot.get("shards", ()):
         if not isinstance(shard, dict):

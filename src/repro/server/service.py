@@ -578,6 +578,8 @@ class QueryService:
             "tasks_scattered": backend.tasks_scattered,
             "scatter_messages": backend.scatter_messages,
             "scatter_messages_broadcast": backend.scatter_messages_broadcast,
+            "rounds_overlapped": backend.rounds_overlapped,
+            "scatter_dedup_hits": backend.scatter_dedup_hits,
         }}
         if isinstance(backend, RemoteShardBackend):
             doc["backend"]["reconnects"] = backend.reconnects

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import queue
+import random
 import re
 import socketserver
 import threading
@@ -75,7 +77,9 @@ class ShardServer:
     """
 
     def __init__(self, artifact, *, host: str = "127.0.0.1", port: int = 0,
-                 shard_id: int | None = None, wire_format: str = "auto"):
+                 shard_id: int | None = None, wire_format: str = "auto",
+                 delay_ms: float = 0.0, delay_jitter_ms: float = 0.0,
+                 task_cost_ms: float = 0.0):
         self.root, self.shard_id = resolve_shard_artifact(artifact, shard_id)
         self.host = host
         self.port = port
@@ -84,6 +88,20 @@ class ShardServer:
                 f"wire_format must be one of {protocol.WIRE_FORMATS}, "
                 f"got {wire_format!r}")
         self.wire_format = wire_format
+        #: Injected scatter latency (testing/benchmarking a skewed
+        #: fleet). Measured from frame *arrival*, not dispatch: with the
+        #: connection handler's read-ahead, several delayed requests
+        #: overlap their waits exactly like genuinely slow concurrent
+        #: work would.
+        self.delay_s = max(0.0, delay_ms) / 1000.0
+        self.delay_jitter_s = max(0.0, delay_jitter_ms) / 1000.0
+        self._delay_rng = random.Random()
+        #: Injected *serial* compute per scatter task (a hot/overloaded
+        #: shard). Unlike ``delay_ms`` this does not overlap across
+        #: in-flight requests: the connection worker pays it per task
+        #: while later requests queue behind — the regime where
+        #: cross-execution dedup and read-ahead matter.
+        self.task_cost_s = max(0.0, task_cost_ms) / 1000.0
         #: Codecs this server offers in the hello negotiation.
         self.wire_codecs = protocol.supported_codecs(wire_format)
         self._lock = threading.Lock()
@@ -105,6 +123,10 @@ class ShardServer:
         self.wire_bytes_received = 0
         self.wire_bytes_sent = 0
         self.binary_frames_received = 0
+        #: Deepest per-connection read-ahead observed: >1 proves a
+        #: front-end really had multiple requests in flight on one
+        #: connection (the pipelining overlap the wire stat gates on).
+        self.pipeline_depth_peak = 0
         #: Hello negotiations by chosen codec.
         self.codec_negotiations = {protocol.CODEC_BINARY: 0,
                                    protocol.CODEC_JSON: 0}
@@ -184,6 +206,16 @@ class ShardServer:
 
     def request_stop(self) -> None:
         self._stop_requested.set()
+
+    def scatter_delay_for(self, doc: dict) -> float:
+        """Injected latency for one request (0 unless configured and
+        the request is a scatter — the handshake and management ops stay
+        fast so tests and probes are not slowed down)."""
+        if not self.delay_s or doc.get("op") != "scatter":
+            return 0.0
+        jitter = self._delay_rng.uniform(0.0, self.delay_jitter_s) \
+            if self.delay_jitter_s else 0.0
+        return self.delay_s + jitter
 
     # -- dispatch -------------------------------------------------------------
     def dispatch(self, doc: dict) -> dict:
@@ -279,6 +311,13 @@ class ShardServer:
                      for item in doc.get("tasks", ())]
         runtime = self.runtime  # one snapshot for the whole round
         raw = [runtime.handle(task) for task in tasks]
+        if self.task_cost_s:
+            # Charge per work unit (source combo; probes count one), so
+            # the injected cost tracks the work actually sent — wire-
+            # level task grouping does not discount it, dedup does.
+            units = sum(len(task[2]) if task[0] in ("fetch", "edge")
+                        else 1 for task in tasks)
+            time.sleep(self.task_cost_s * units)
         self.scatter_rounds += 1
         self.tasks_handled += len(tasks)
         if binary:
@@ -316,6 +355,9 @@ class ShardServer:
             "traced_requests": self.traced_requests,
             "scatter_seconds": round(self.scatter_seconds, 6),
             "uptime_s": time.monotonic() - self._started,
+            "pipeline_depth_peak": self.pipeline_depth_peak,
+            "delay_ms": round(self.delay_s * 1000.0, 3),
+            "task_cost_ms": round(self.task_cost_s * 1000.0, 3),
             "wire": {
                 "format": self.wire_format,
                 "codecs": list(self.wire_codecs),
@@ -339,13 +381,17 @@ class _ShardTCPServer(socketserver.ThreadingTCPServer):
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: a request/response loop over wire frames, each
-    framing sniffed per frame and each response sent in its request's
-    framing. Typed :mod:`repro.errors` exceptions serialize as typed
-    error responses; anything else is a server bug and reports opaquely.
-    A malformed, overlong or truncated frame gets one typed error
-    response, then the connection is closed (the stream cannot be
-    trusted past it)."""
+    """One connection, pipelined: the handler thread reads ahead —
+    stamping each frame's arrival and queueing it — while a per-
+    connection worker thread dispatches and responds strictly in
+    arrival order (the front-end correlates by request id, but in-order
+    responses keep the stream trivially self-synchronizing). Reading
+    request N+1 while request N computes is what lets one connection
+    carry several rounds at once. Typed :mod:`repro.errors` exceptions
+    serialize as typed error responses; anything else is a server bug
+    and reports opaquely. A malformed, overlong or truncated frame gets
+    one typed error response, then the connection is closed (the stream
+    cannot be trusted past it)."""
 
     def setup(self) -> None:
         super().setup()
@@ -359,33 +405,68 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         server = self.server.shard_server
-        while True:
-            try:
-                frame = protocol.read_frame(self.rfile)
-            except EOFError:
-                return
-            except (ShardProtocolError, ServerError, OSError) as exc:
-                self._respond(protocol.error_response(
-                    None, exc if protocol.is_repro_error(exc)
-                    else ServerError("unreadable frame")))
-                return
-            server.wire_bytes_received += frame.nbytes
-            if frame.binary:
-                server.binary_frames_received += 1
-            request_id = frame.get("id")
-            payloads = ()
-            try:
-                response = server.dispatch(frame)
-                payloads = getattr(response, "payloads", ())
-                response = {"id": request_id, "ok": True, **response}
-            except Exception as exc:  # noqa: BLE001 — keep serving
-                if not protocol.is_repro_error(exc):
-                    exc = ServerError(
-                        f"internal error: {type(exc).__name__}")
-                response = protocol.error_response(request_id, exc)
-            if not self._respond(response, payloads=payloads,
-                                 binary=frame.binary):
-                return
+        work: queue.Queue = queue.Queue()
+        self._worker_dead = False
+        self._unanswered = 0  # read but not yet responded (GIL-atomic)
+        worker = threading.Thread(
+            target=self._drain, args=(server, work),
+            name="shard-serve-worker", daemon=True)
+        worker.start()
+        try:
+            while not self._worker_dead:
+                try:
+                    frame = protocol.read_frame(self.rfile)
+                except EOFError:
+                    return
+                except (ShardProtocolError, ServerError, OSError) as exc:
+                    work.put(("error", exc, None))
+                    return
+                server.wire_bytes_received += frame.nbytes
+                if frame.binary:
+                    server.binary_frames_received += 1
+                self._unanswered += 1
+                if self._unanswered > server.pipeline_depth_peak:
+                    server.pipeline_depth_peak = self._unanswered
+                work.put(("frame", frame, time.monotonic()))
+        finally:
+            work.put(("eof", None, None))
+            worker.join()
+
+    def _drain(self, server: ShardServer, work: queue.Queue) -> None:
+        """The connection's in-order dispatch loop."""
+        try:
+            while True:
+                kind, item, arrival = work.get()
+                if kind == "eof":
+                    return
+                if kind == "error":
+                    self._respond(protocol.error_response(
+                        None, item if protocol.is_repro_error(item)
+                        else ServerError("unreadable frame")))
+                    return
+                delay = server.scatter_delay_for(item)
+                if delay:
+                    remaining = arrival + delay - time.monotonic()
+                    if remaining > 0:
+                        time.sleep(remaining)
+                request_id = item.get("id")
+                payloads = ()
+                try:
+                    response = server.dispatch(item)
+                    payloads = getattr(response, "payloads", ())
+                    response = {"id": request_id, "ok": True, **response}
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    if not protocol.is_repro_error(exc):
+                        exc = ServerError(
+                            f"internal error: {type(exc).__name__}")
+                    response = protocol.error_response(request_id, exc)
+                ok = self._respond(response, payloads=payloads,
+                                   binary=item.binary)
+                self._unanswered -= 1
+                if not ok:
+                    return
+        finally:
+            self._worker_dead = True
 
     def _respond(self, doc: dict, payloads=(), binary: bool = False) -> bool:
         try:
@@ -424,13 +505,28 @@ def main(argv: list[str] | None = None) -> int:
                         default="text",
                         help="structured log format for the repro.* "
                              "logger namespace (default: text)")
+    parser.add_argument("--delay-ms", type=float, default=0.0,
+                        help="inject this much latency (from frame "
+                             "arrival) into every scatter round — a "
+                             "skewed-fleet straggler for benchmarks and "
+                             "smoke tests (default: 0)")
+    parser.add_argument("--delay-jitter-ms", type=float, default=0.0,
+                        help="add up to this much uniformly-random extra "
+                             "latency per scatter round (default: 0)")
+    parser.add_argument("--task-cost-ms", type=float, default=0.0,
+                        help="inject this much serial compute per scatter "
+                             "task — a hot shard whose cost scales with "
+                             "the work it is sent (default: 0)")
     args = parser.parse_args(argv)
 
     from repro.obs.logs import setup_logging
     setup_logging(args.log_format)
     server = ShardServer(args.artifact, host=args.host, port=args.port,
                          shard_id=args.shard_id,
-                         wire_format=args.wire_format)
+                         wire_format=args.wire_format,
+                         delay_ms=args.delay_ms,
+                         delay_jitter_ms=args.delay_jitter_ms,
+                         task_cost_ms=args.task_cost_ms)
     server.start()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: server.request_stop())

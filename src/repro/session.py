@@ -74,6 +74,10 @@ class SessionConfig:
     retry_backoff_s: float = 0.1
     owner_routing: bool = True
     wire_format: str = "auto"
+    #: Scatter driver: True (default) runs the pipelined per-shard-
+    #: progress executor; False forces the lock-step wave barrier (the
+    #: reference mode the skewed-fleet benchmark compares against).
+    scatter_pipeline: bool = True
 
     def replace(self, **overrides) -> "SessionConfig":
         """A copy with ``overrides`` applied; unknown names raise
@@ -125,7 +129,8 @@ def connect(source, *, config: SessionConfig | None = None, **overrides):
             request_timeout=cfg.request_timeout, retries=cfg.retries,
             retry_backoff_s=cfg.retry_backoff_s,
             owner_routing=cfg.owner_routing,
-            wire_format=cfg.wire_format)
+            wire_format=cfg.wire_format,
+            scatter_pipeline=cfg.scatter_pipeline)
     if isinstance(source, tuple) and len(source) == 2:
         graph, schema = source
         if cfg.backend not in ("auto", "inline") or cfg.shard_addrs:
@@ -139,7 +144,8 @@ def connect(source, *, config: SessionConfig | None = None, **overrides):
         backend, schema, graph_summary = source
         return QueryEngine._assemble_from_shards(
             backend, schema, graph_summary, plan_cache=cfg.plan_cache,
-            cache_size=cfg.cache_size)
+            cache_size=cfg.cache_size,
+            scatter_pipeline=cfg.scatter_pipeline)
     raise EngineError(
         f"cannot connect to {type(source).__name__!r}: expected an "
         f"artifact path, a (graph, schema) pair, or a "

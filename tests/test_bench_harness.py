@@ -203,6 +203,7 @@ class TestCheckRegressionShardMetrics:
                    "speedup_vs_prepared": 1.0}]),
                 ("shard", [{"mode": "sequential", "qps": 1.0}]),
                 ("remote", []),
+                ("remote_skewed", []),
                 ("extension", []),
                 ("obs", []),
         ):
@@ -214,6 +215,8 @@ class TestCheckRegressionShardMetrics:
         # Empty remote.json / obs.json degrade the same way.
         assert metrics["remote"]["answers_identical"] is None
         assert metrics["remote"]["scatter_reduction"] is None
+        assert metrics["remote_skewed"]["answers_identical"] is None
+        assert metrics["remote_skewed"]["pipelined_speedup"] is None
         assert metrics["obs"]["disabled_overhead_ratio"] is None
         rows = compare({"shard": {"answers_identical": 1.0}}, metrics)
         assert rows[0]["ok"] is False  # missing fails the gate loudly
